@@ -1,0 +1,174 @@
+//! Collision History Table (Yoaz et al., ISCA 1999).
+
+use phast_mdp::{
+    AccessStats, DepPrediction, LoadQuery, MemDepPredictor, PredictionOutcome, Violation,
+};
+
+/// Configuration of [`Cht`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChtConfig {
+    /// Number of tagless entries (power of two).
+    pub entries: usize,
+    /// Saturating-counter bits.
+    pub counter_bits: u32,
+}
+
+impl ChtConfig {
+    /// A 4K-entry CHT with 2-bit counters (1 KB), as in the original work.
+    pub fn paper() -> ChtConfig {
+        ChtConfig { entries: 4096, counter_bits: 2 }
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.entries * self.counter_bits as usize
+    }
+}
+
+/// The CHT predictor: a tagless PC-indexed table of collision counters.
+/// A load predicted "colliding" waits for all older stores — the coarse
+/// behaviour that made CHT's false-dependence MPKI high (paper Fig. 1).
+pub struct Cht {
+    cfg: ChtConfig,
+    counters: Vec<u8>,
+    stats: AccessStats,
+}
+
+impl Cht {
+    /// Creates a CHT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `counter_bits` is 0
+    /// or > 8.
+    pub fn new(cfg: ChtConfig) -> Cht {
+        assert!(cfg.entries.is_power_of_two(), "entries must be a power of two");
+        assert!((1..=8).contains(&cfg.counter_bits), "counter bits must be 1..=8");
+        Cht { counters: vec![0; cfg.entries], cfg, stats: AccessStats::default() }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        (phast_mdp::pc_index_hash(pc) as usize) & (self.cfg.entries - 1)
+    }
+
+    fn max(&self) -> u8 {
+        ((1u32 << self.cfg.counter_bits) - 1) as u8
+    }
+
+    fn threshold(&self) -> u8 {
+        (1u32 << (self.cfg.counter_bits - 1)) as u8
+    }
+}
+
+impl MemDepPredictor for Cht {
+    fn name(&self) -> String {
+        format!("cht-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        self.stats.reads += 1;
+        let colliding = self.counters[self.index(q.pc)] >= self.threshold();
+        if colliding && q.older_stores > 0 {
+            PredictionOutcome { dep: DepPrediction::AllOlder, hint: 0 }
+        } else {
+            PredictionOutcome::none()
+        }
+    }
+
+    fn train_violation(&mut self, v: &Violation<'_>) {
+        self.stats.writes += 1;
+        let idx = self.index(v.load_pc);
+        let max = self.max();
+        let c = &mut self.counters[idx];
+        *c = (*c + 1).min(max);
+    }
+
+    fn load_committed(&mut self, c: &phast_mdp::LoadCommit<'_>) {
+        // Loads that waited without needing to slowly unlearn.
+        if c.prediction.dep.is_dependence() && c.actual_distance.is_none() {
+            self.stats.writes += 1;
+            let idx = self.index(c.pc);
+            self.counters[idx] = self.counters[idx].saturating_sub(1);
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.cfg.storage_bits()
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_branch::DivergentHistory;
+    use phast_mdp::{LoadCommit, PredictionOutcome as PO};
+
+    fn lq<'a>(pc: u64, older: u32, h: &'a DivergentHistory) -> LoadQuery<'a> {
+        LoadQuery { pc, token: 0, history: h, arch_seq: 0, older_stores: older }
+    }
+
+    fn viol<'a>(pc: u64, h: &'a DivergentHistory) -> Violation<'a> {
+        Violation {
+            load_pc: pc,
+            store_pc: 0,
+            store_distance: 0,
+            history_len: 1,
+            history: h,
+            load_token: 0,
+            store_token: 0,
+            prior: PO::none(),
+        }
+    }
+
+    #[test]
+    fn predicts_all_older_after_violations() {
+        let h = DivergentHistory::new();
+        let mut p = Cht::new(ChtConfig::paper());
+        assert_eq!(p.predict_load(&lq(0x100, 4, &h)).dep, DepPrediction::None);
+        p.train_violation(&viol(0x100, &h));
+        p.train_violation(&viol(0x100, &h));
+        assert_eq!(p.predict_load(&lq(0x100, 4, &h)).dep, DepPrediction::AllOlder);
+    }
+
+    #[test]
+    fn no_stores_means_no_wait() {
+        let h = DivergentHistory::new();
+        let mut p = Cht::new(ChtConfig::paper());
+        p.train_violation(&viol(0x100, &h));
+        p.train_violation(&viol(0x100, &h));
+        assert_eq!(p.predict_load(&lq(0x100, 0, &h)).dep, DepPrediction::None);
+    }
+
+    #[test]
+    fn unlearns_on_false_dependences() {
+        let h = DivergentHistory::new();
+        let mut p = Cht::new(ChtConfig::paper());
+        p.train_violation(&viol(0x100, &h));
+        p.train_violation(&viol(0x100, &h));
+        let pred = p.predict_load(&lq(0x100, 4, &h));
+        for _ in 0..4 {
+            p.load_committed(&LoadCommit {
+                pc: 0x100,
+                prediction: pred,
+                actual_distance: None,
+                waited_correct: false,
+                history: &h,
+            });
+        }
+        assert_eq!(p.predict_load(&lq(0x100, 4, &h)).dep, DepPrediction::None);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        assert_eq!(ChtConfig::paper().storage_bits(), 8192, "1 KB");
+    }
+}

@@ -1,0 +1,32 @@
+//! State-of-the-art memory dependence predictors the paper compares
+//! PHAST against (§II and §VII):
+//!
+//! * [`StoreSets`] — Chrysos & Emer (ISCA 1998): SSIT + LFST, set merging,
+//!   store serialization, periodic clearing. Table II: 18.5 KB.
+//! * [`StoreVector`] — Subramaniam & Loh (HPCA 2006): per-load bit vector
+//!   over store-queue slots.
+//! * [`Cht`] — Yoaz et al. (ISCA 1999): collision history table.
+//! * [`NoSqPredictor`] — Sha, Martin & Roth (MICRO 2006): paired
+//!   path-insensitive and path-sensitive distance tables. Table II: 19 KB.
+//! * [`MdpTage`] — Perais & Seznec (PACT 2018): TAGE re-targeted to store
+//!   distances, 12 geometric components. Table II: 38.625 KB. The
+//!   [`MdpTageConfig::short`] variant (MDP-TAGE-S) uses PHAST's table and
+//!   history-length configuration, 13 KB.
+//! * [`UnlimitedNoSq`] and [`UnlimitedMdpTage`] — the alias-free unbounded
+//!   versions of the §III-C limit study (Fig. 6).
+
+#![warn(missing_docs)]
+
+mod cht;
+mod mdp_tage;
+mod nosq;
+mod store_sets;
+mod store_vector;
+mod unlimited;
+
+pub use cht::{Cht, ChtConfig};
+pub use mdp_tage::{MdpTage, MdpTageConfig};
+pub use nosq::{NoSqConfig, NoSqPredictor};
+pub use store_sets::{StoreSets, StoreSetsConfig};
+pub use store_vector::{StoreVector, StoreVectorConfig};
+pub use unlimited::{UnlimitedMdpTage, UnlimitedNoSq};

@@ -1,0 +1,333 @@
+//! The NoSQ memory dependence predictor (Sha, Martin & Roth, MICRO 2006).
+//!
+//! Two load-indexed set-associative tables predict a store distance: a
+//! path-insensitive table keyed by the load PC alone, and a path-sensitive
+//! table keyed by the PC hashed with a **fixed 8-entry** branch history
+//! (§II-B). Both tables are allocated on a violation; when both match, the
+//! path-sensitive prediction wins. The fixed history length is the design
+//! point PHAST improves on: shorter-than-needed histories cause false
+//! positives, longer-than-needed ones explode the number of entries.
+
+use phast_branch::DivergentHistory;
+use phast_isa::Pc;
+use phast_mdp::{
+    pc_index_hash, pc_tag_hash, AccessStats, AssocTable, DepPrediction, LoadCommit, LoadQuery,
+    MemDepPredictor, PredictionOutcome, TableGeometry, Violation, MAX_STORE_DISTANCE,
+};
+
+/// Configuration of [`NoSqPredictor`].
+#[derive(Clone, Copy, Debug)]
+pub struct NoSqConfig {
+    /// Sets per table (power of two); two tables are built.
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Partial tag bits.
+    pub tag_bits: u32,
+    /// History length of the path-sensitive table.
+    pub history_len: u32,
+    /// Confidence-counter bits.
+    pub counter_bits: u32,
+    /// Predict only when the counter is at least this value.
+    pub threshold: u8,
+    /// Penalty subtracted from the counter on an unnecessary wait.
+    pub penalty: u8,
+}
+
+impl NoSqConfig {
+    /// The paper's 19 KB configuration (Table II): 2 tables × 2K entries,
+    /// 22-bit tags, 7-bit counters, 7-bit distances, 2-bit LRU; 8-branch
+    /// path history.
+    pub fn paper() -> NoSqConfig {
+        NoSqConfig {
+            sets: 512,
+            ways: 4,
+            tag_bits: 22,
+            history_len: 8,
+            counter_bits: 7,
+            threshold: 64,
+            penalty: 8,
+        }
+    }
+
+    /// The paper configuration scaled to a different set count (Fig. 13).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two.
+    pub fn with_sets(sets: usize) -> NoSqConfig {
+        assert!(sets.is_power_of_two());
+        NoSqConfig { sets, ..NoSqConfig::paper() }
+    }
+
+    /// Bits per entry: tag + counter + distance + LRU.
+    pub fn entry_bits(&self) -> usize {
+        let lru = TableGeometry { sets: self.sets, ways: self.ways, tag_bits: self.tag_bits }
+            .lru_bits();
+        self.tag_bits as usize + self.counter_bits as usize + 7 + lru
+    }
+
+    /// Total storage in bits (two tables).
+    pub fn storage_bits(&self) -> usize {
+        2 * self.sets * self.ways * self.entry_bits()
+    }
+
+    fn max_counter(&self) -> u8 {
+        ((1u32 << self.counter_bits) - 1) as u8
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    distance: u8,
+    counter: u8,
+}
+
+/// The NoSQ store-distance predictor.
+pub struct NoSqPredictor {
+    cfg: NoSqConfig,
+    insensitive: AssocTable<Entry>,
+    sensitive: AssocTable<Entry>,
+    index_bits: u32,
+    stats: AccessStats,
+}
+
+const HINT_INSENSITIVE: u64 = 0;
+const HINT_SENSITIVE: u64 = 1;
+
+impl NoSqPredictor {
+    /// Creates a NoSQ predictor.
+    pub fn new(cfg: NoSqConfig) -> NoSqPredictor {
+        let geo = TableGeometry { sets: cfg.sets, ways: cfg.ways, tag_bits: cfg.tag_bits };
+        NoSqPredictor {
+            insensitive: AssocTable::new(geo),
+            sensitive: AssocTable::new(geo),
+            index_bits: cfg.sets.trailing_zeros(),
+            cfg,
+            stats: AccessStats::default(),
+        }
+    }
+
+    fn keys(&self, pc: Pc, history: Option<&DivergentHistory>) -> (u64, u64) {
+        let folded = match history {
+            Some(h) => {
+                let path = h.path_plain(self.cfg.history_len as usize);
+                path.fold(self.index_bits + self.cfg.tag_bits)
+            }
+            None => 0,
+        };
+        let index = pc_index_hash(pc) ^ (folded & ((1 << self.index_bits) - 1));
+        let tag = pc_tag_hash(pc) ^ (folded >> self.index_bits);
+        (index, tag)
+    }
+}
+
+impl MemDepPredictor for NoSqPredictor {
+    fn name(&self) -> String {
+        format!("nosq-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        self.stats.reads += 2;
+        let threshold = self.cfg.threshold;
+        let (ii, it) = self.keys(q.pc, None);
+        let (si, st) = self.keys(q.pc, Some(q.history));
+        let ins = self.insensitive.peek(ii, it).filter(|e| e.counter >= threshold);
+        let sen = self.sensitive.peek(si, st).filter(|e| e.counter >= threshold);
+        // Path-sensitive wins on a double match (§II-B).
+        if let Some(e) = sen {
+            return PredictionOutcome {
+                dep: DepPrediction::Distance(u32::from(e.distance)),
+                hint: HINT_SENSITIVE,
+            };
+        }
+        if let Some(e) = ins {
+            return PredictionOutcome {
+                dep: DepPrediction::Distance(u32::from(e.distance)),
+                hint: HINT_INSENSITIVE,
+            };
+        }
+        PredictionOutcome::none()
+    }
+
+    fn train_violation(&mut self, v: &Violation<'_>) {
+        // Allocate in both tables.
+        let entry = Entry {
+            distance: v.store_distance.min(MAX_STORE_DISTANCE) as u8,
+            counter: self.cfg.max_counter(),
+        };
+        self.stats.writes += 2;
+        let (ii, it) = self.keys(v.load_pc, None);
+        self.insensitive.insert(ii, it, entry);
+        let (si, st) = self.keys(v.load_pc, Some(v.history));
+        self.sensitive.insert(si, st, entry);
+    }
+
+    fn load_committed(&mut self, c: &LoadCommit<'_>) {
+        let DepPrediction::Distance(_) = c.prediction.dep else { return };
+        let (index, tag, table) = if c.prediction.hint == HINT_SENSITIVE {
+            let (i, t) = self.keys(c.pc, Some(c.history));
+            (i, t, &mut self.sensitive)
+        } else {
+            let (i, t) = self.keys(c.pc, None);
+            (i, t, &mut self.insensitive)
+        };
+        self.stats.writes += 1;
+        if let Some(e) = table.lookup(index, tag) {
+            if c.waited_correct {
+                e.counter = ((1u32 << self.cfg.counter_bits) - 1) as u8;
+            } else {
+                e.counter = e.counter.saturating_sub(self.cfg.penalty);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.cfg.storage_bits()
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_branch::DivergentEvent;
+
+    fn history_with(events: &[(bool, u64)]) -> DivergentHistory {
+        let mut h = DivergentHistory::new();
+        for &(taken, target) in events {
+            h.push(DivergentEvent { indirect: false, taken, target });
+        }
+        h
+    }
+
+    fn lq<'a>(pc: Pc, h: &'a DivergentHistory) -> LoadQuery<'a> {
+        LoadQuery { pc, token: 0, history: h, arch_seq: 0, older_stores: 16 }
+    }
+
+    fn viol<'a>(pc: Pc, distance: u32, h: &'a DivergentHistory) -> Violation<'a> {
+        Violation {
+            load_pc: pc,
+            store_pc: 0,
+            store_distance: distance,
+            history_len: 1,
+            history: h,
+            load_token: 0,
+            store_token: 0,
+            prior: PredictionOutcome::none(),
+        }
+    }
+
+    #[test]
+    fn paper_config_is_19_kb() {
+        let cfg = NoSqConfig::paper();
+        assert_eq!(cfg.entry_bits(), 22 + 7 + 7 + 2);
+        assert_eq!(cfg.storage_bits() as f64 / 8192.0, 19.0, "Table II");
+    }
+
+    #[test]
+    fn trains_both_tables_and_prefers_sensitive() {
+        let mut p = NoSqPredictor::new(NoSqConfig::paper());
+        let h1 = history_with(&[(true, 1), (false, 2)]);
+        p.train_violation(&viol(0x100, 3, &h1));
+        let out = p.predict_load(&lq(0x100, &h1));
+        assert_eq!(out.dep, DepPrediction::Distance(3));
+        assert_eq!(out.hint, HINT_SENSITIVE, "double match uses the path-sensitive table");
+    }
+
+    #[test]
+    fn insensitive_table_covers_unseen_paths() {
+        let mut p = NoSqPredictor::new(NoSqConfig::paper());
+        let trained = history_with(&[(true, 1), (false, 2)]);
+        p.train_violation(&viol(0x100, 3, &trained));
+        let other = history_with(&[(false, 9), (true, 8)]);
+        let out = p.predict_load(&lq(0x100, &other));
+        assert_eq!(out.dep, DepPrediction::Distance(3));
+        assert_eq!(out.hint, HINT_INSENSITIVE, "unseen path falls back to PC-only");
+    }
+
+    #[test]
+    fn different_distances_per_path() {
+        let mut p = NoSqPredictor::new(NoSqConfig::paper());
+        let h1 = history_with(&[(true, 1)]);
+        let h2 = history_with(&[(false, 1)]);
+        p.train_violation(&viol(0x100, 0, &h1));
+        p.train_violation(&viol(0x100, 1, &h2));
+        assert_eq!(p.predict_load(&lq(0x100, &h1)).dep, DepPrediction::Distance(0));
+        assert_eq!(p.predict_load(&lq(0x100, &h2)).dep, DepPrediction::Distance(1));
+    }
+
+    #[test]
+    fn counter_gates_predictions() {
+        let mut p = NoSqPredictor::new(NoSqConfig::paper());
+        let h = history_with(&[(true, 1)]);
+        p.train_violation(&viol(0x100, 2, &h));
+        let out = p.predict_load(&lq(0x100, &h));
+        // 8 wrong waits per table: 127 - 8*8 < 64 threshold on both.
+        for _ in 0..8 {
+            for hint in [HINT_SENSITIVE, HINT_INSENSITIVE] {
+                p.load_committed(&LoadCommit {
+                    pc: 0x100,
+                    prediction: PredictionOutcome { dep: out.dep, hint },
+                    actual_distance: None,
+                    waited_correct: false,
+                    history: &h,
+                });
+            }
+        }
+        assert_eq!(p.predict_load(&lq(0x100, &h)).dep, DepPrediction::None);
+    }
+
+    #[test]
+    fn correct_wait_restores_confidence() {
+        let mut p = NoSqPredictor::new(NoSqConfig::paper());
+        let h = history_with(&[(true, 1)]);
+        p.train_violation(&viol(0x100, 2, &h));
+        let out = p.predict_load(&lq(0x100, &h));
+        for _ in 0..3 {
+            p.load_committed(&LoadCommit {
+                pc: 0x100,
+                prediction: out,
+                actual_distance: None,
+                waited_correct: false,
+                history: &h,
+            });
+        }
+        p.load_committed(&LoadCommit {
+            pc: 0x100,
+            prediction: out,
+            actual_distance: Some(2),
+            waited_correct: true,
+            history: &h,
+        });
+        assert_eq!(p.predict_load(&lq(0x100, &h)).dep, DepPrediction::Distance(2));
+    }
+
+    #[test]
+    fn history_beyond_8_branches_cannot_disambiguate() {
+        // Two paths identical in their 8 newest divergent branches but
+        // different further back: NoSQ cannot tell them apart (the PHAST
+        // motivation, §III-B).
+        let mut p = NoSqPredictor::new(NoSqConfig::paper());
+        let mut far1 = vec![(true, 7u64)];
+        let mut far2 = vec![(false, 9u64)];
+        let suffix: Vec<(bool, u64)> = (0..8).map(|i| (i % 2 == 0, i)).collect();
+        far1.extend_from_slice(&suffix);
+        far2.extend_from_slice(&suffix);
+        let h1 = history_with(&far1);
+        let h2 = history_with(&far2);
+        p.train_violation(&viol(0x100, 0, &h1));
+        assert_eq!(
+            p.predict_load(&lq(0x100, &h2)).dep,
+            DepPrediction::Distance(0),
+            "8-branch key aliases the two distinct 9-branch paths"
+        );
+    }
+}

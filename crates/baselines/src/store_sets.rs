@@ -1,0 +1,295 @@
+//! Store Sets (Chrysos & Emer, ISCA 1998).
+
+use phast_isa::Pc;
+use phast_mdp::{
+    AccessStats, DepPrediction, LoadQuery, MemDepPredictor, PredictionOutcome, StoreQuery,
+    Violation,
+};
+
+/// Configuration of [`StoreSets`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreSetsConfig {
+    /// Entries in the Store Set Identification Table (power of two).
+    pub ssit_entries: usize,
+    /// Entries in the Last Fetched Store Table (power of two); also the
+    /// SSID space.
+    pub lfst_entries: usize,
+    /// Clear both tables after this many predictor events (the original
+    /// paper clears periodically to break up over-merged sets).
+    pub reset_period: u64,
+}
+
+impl StoreSetsConfig {
+    /// The paper's 18.5 KB configuration (Table II): 8K-entry SSIT with
+    /// 12-bit SSIDs, 4K-entry LFST with 10-bit store ids.
+    pub fn paper() -> StoreSetsConfig {
+        StoreSetsConfig { ssit_entries: 8 * 1024, lfst_entries: 4 * 1024, reset_period: 512 * 1024 }
+    }
+
+    /// A scaled configuration for the Fig. 13 storage sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry counts are not powers of two.
+    pub fn with_entries(ssit_entries: usize, lfst_entries: usize) -> StoreSetsConfig {
+        assert!(ssit_entries.is_power_of_two() && lfst_entries.is_power_of_two());
+        StoreSetsConfig { ssit_entries, lfst_entries, ..StoreSetsConfig::paper() }
+    }
+
+    /// SSID width in bits.
+    fn ssid_bits(&self) -> usize {
+        self.lfst_entries.trailing_zeros() as usize // Table II: 12-bit SSID for a 4K LFST
+    }
+
+    /// Total storage in bits: SSIT (valid + SSID) + LFST (valid + store id).
+    pub fn storage_bits(&self) -> usize {
+        let ssit = self.ssit_entries * (1 + self.ssid_bits());
+        let store_id_bits = 10; // Table II
+        let lfst = self.lfst_entries * (1 + store_id_bits);
+        ssit + lfst
+    }
+}
+
+/// The Store Sets predictor.
+///
+/// Loads and stores index the tagless SSIT by PC; a valid SSID links them
+/// to the set's LFST entry holding the last fetched store. Loads depend on
+/// that store; stores first depend on it (serializing the set) and then
+/// replace it. On a violation the load and store are put in the same set,
+/// merging sets toward the smaller SSID when both already have one.
+pub struct StoreSets {
+    cfg: StoreSetsConfig,
+    ssit: Vec<Option<u32>>,
+    /// SSID -> (store token, store pc). The PC lets `store_executed`
+    /// invalidate without a reverse map.
+    lfst: Vec<Option<(u64, Pc)>>,
+    next_ssid: u32,
+    events: u64,
+    stats: AccessStats,
+}
+
+impl StoreSets {
+    /// Creates a Store Sets predictor.
+    pub fn new(cfg: StoreSetsConfig) -> StoreSets {
+        StoreSets {
+            ssit: vec![None; cfg.ssit_entries],
+            lfst: vec![None; cfg.lfst_entries],
+            cfg,
+            next_ssid: 0,
+            events: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    #[inline]
+    fn ssit_index(&self, pc: Pc) -> usize {
+        (phast_mdp::pc_index_hash(pc) as usize) & (self.cfg.ssit_entries - 1)
+    }
+
+    fn tick(&mut self) {
+        self.events += 1;
+        if self.events.is_multiple_of(self.cfg.reset_period) {
+            self.ssit.fill(None);
+            self.lfst.fill(None);
+        }
+    }
+
+    fn alloc_ssid(&mut self) -> u32 {
+        let ssid = self.next_ssid % self.cfg.lfst_entries as u32;
+        self.next_ssid = self.next_ssid.wrapping_add(1);
+        ssid
+    }
+}
+
+impl MemDepPredictor for StoreSets {
+    fn name(&self) -> String {
+        format!("store-sets-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        self.tick();
+        self.stats.reads += 1; // SSIT read
+        let idx = self.ssit_index(q.pc);
+        let Some(ssid) = self.ssit[idx] else { return PredictionOutcome::none() };
+        self.stats.reads += 1; // LFST read
+        match self.lfst[ssid as usize] {
+            Some((token, _)) => {
+                PredictionOutcome { dep: DepPrediction::StoreToken(token), hint: u64::from(ssid) }
+            }
+            None => PredictionOutcome::none(),
+        }
+    }
+
+    fn store_dispatched(&mut self, q: &StoreQuery<'_>) -> Option<u64> {
+        self.tick();
+        self.stats.reads += 1; // SSIT read
+        let idx = self.ssit_index(q.pc);
+        let ssid = self.ssit[idx]?;
+        self.stats.reads += 1; // LFST read
+        let prev = self.lfst[ssid as usize].map(|(t, _)| t);
+        // The store becomes the set's last fetched store.
+        self.stats.writes += 1;
+        self.lfst[ssid as usize] = Some((q.token, q.pc));
+        prev
+    }
+
+    fn store_executed(&mut self, pc: Pc, token: u64) {
+        // Invalidate the LFST entry if this store is still the last one:
+        // later loads must not wait for an already-executed store.
+        let idx = self.ssit_index(pc);
+        if let Some(ssid) = self.ssit[idx] {
+            if let Some((t, _)) = self.lfst[ssid as usize] {
+                if t == token {
+                    self.stats.writes += 1;
+                    self.lfst[ssid as usize] = None;
+                }
+            }
+        }
+    }
+
+    fn train_violation(&mut self, v: &Violation<'_>) {
+        self.tick();
+        let li = self.ssit_index(v.load_pc);
+        let si = self.ssit_index(v.store_pc);
+        self.stats.reads += 2;
+        self.stats.writes += 2;
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let ssid = self.alloc_ssid();
+                self.ssit[li] = Some(ssid);
+                self.ssit[si] = Some(ssid);
+            }
+            (Some(ssid), None) => self.ssit[si] = Some(ssid),
+            (None, Some(ssid)) => self.ssit[li] = Some(ssid),
+            (Some(a), Some(b)) => {
+                // Merge rule: both adopt the smaller SSID.
+                let winner = a.min(b);
+                self.ssit[li] = Some(winner);
+                self.ssit[si] = Some(winner);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.cfg.storage_bits()
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_branch::DivergentHistory;
+
+    fn lq<'a>(pc: Pc, h: &'a DivergentHistory) -> LoadQuery<'a> {
+        LoadQuery { pc, token: 100, history: h, arch_seq: 0, older_stores: 4 }
+    }
+
+    fn sq<'a>(pc: Pc, token: u64, h: &'a DivergentHistory) -> StoreQuery<'a> {
+        StoreQuery { pc, token, history: h }
+    }
+
+    fn viol<'a>(load_pc: Pc, store_pc: Pc, h: &'a DivergentHistory) -> Violation<'a> {
+        Violation {
+            load_pc,
+            store_pc,
+            store_distance: 0,
+            history_len: 1,
+            history: h,
+            load_token: 9,
+            store_token: 1,
+            prior: PredictionOutcome::none(),
+        }
+    }
+
+    #[test]
+    fn paper_config_is_18_5_kb() {
+        let cfg = StoreSetsConfig::paper();
+        assert_eq!(cfg.storage_bits() as f64 / 8192.0, 18.5, "Table II");
+    }
+
+    #[test]
+    fn violation_links_load_to_store() {
+        let h = DivergentHistory::new();
+        let mut p = StoreSets::new(StoreSetsConfig::paper());
+        let (load_pc, store_pc) = (0x40_0100, 0x40_0200);
+        assert_eq!(p.predict_load(&lq(load_pc, &h)).dep, DepPrediction::None);
+        p.train_violation(&viol(load_pc, store_pc, &h));
+        // Store fetched again: enters the LFST.
+        assert_eq!(p.store_dispatched(&sq(store_pc, 42, &h)), None);
+        // Load now depends on that concrete store.
+        assert_eq!(p.predict_load(&lq(load_pc, &h)).dep, DepPrediction::StoreToken(42));
+    }
+
+    #[test]
+    fn stores_of_a_set_serialize() {
+        let h = DivergentHistory::new();
+        let mut p = StoreSets::new(StoreSetsConfig::paper());
+        let (load_pc, store_pc) = (0x40_0100, 0x40_0200);
+        p.train_violation(&viol(load_pc, store_pc, &h));
+        assert_eq!(p.store_dispatched(&sq(store_pc, 1, &h)), None);
+        assert_eq!(
+            p.store_dispatched(&sq(store_pc, 2, &h)),
+            Some(1),
+            "second instance waits on the first (set serialization)"
+        );
+        assert_eq!(
+            p.predict_load(&lq(load_pc, &h)).dep,
+            DepPrediction::StoreToken(2),
+            "load waits on the youngest instance"
+        );
+    }
+
+    #[test]
+    fn executed_store_leaves_the_lfst() {
+        let h = DivergentHistory::new();
+        let mut p = StoreSets::new(StoreSetsConfig::paper());
+        p.train_violation(&viol(0x40_0100, 0x40_0200, &h));
+        p.store_dispatched(&sq(0x40_0200, 7, &h));
+        p.store_executed(0x40_0200, 7);
+        assert_eq!(
+            p.predict_load(&lq(0x40_0100, &h)).dep,
+            DepPrediction::None,
+            "no dependence once the store has executed"
+        );
+    }
+
+    #[test]
+    fn merging_converges_to_smaller_ssid() {
+        let h = DivergentHistory::new();
+        let mut p = StoreSets::new(StoreSetsConfig::paper());
+        // Two independent sets.
+        p.train_violation(&viol(0x40_0100, 0x40_0200, &h));
+        p.train_violation(&viol(0x40_0300, 0x40_0400, &h));
+        // A violation across them merges both.
+        p.train_violation(&viol(0x40_0100, 0x40_0400, &h));
+        p.store_dispatched(&sq(0x40_0400, 11, &h));
+        assert_eq!(
+            p.predict_load(&lq(0x40_0100, &h)).dep,
+            DepPrediction::StoreToken(11),
+            "merged set shares one LFST entry"
+        );
+    }
+
+    #[test]
+    fn periodic_reset_forgets() {
+        let h = DivergentHistory::new();
+        let mut p = StoreSets::new(StoreSetsConfig {
+            reset_period: 8,
+            ..StoreSetsConfig::paper()
+        });
+        p.train_violation(&viol(0x40_0100, 0x40_0200, &h));
+        p.store_dispatched(&sq(0x40_0200, 5, &h));
+        for _ in 0..8 {
+            let _ = p.predict_load(&lq(0x40_0900, &h));
+        }
+        assert_eq!(p.predict_load(&lq(0x40_0100, &h)).dep, DepPrediction::None);
+    }
+}

@@ -1,0 +1,188 @@
+//! Store Vectors (Subramaniam & Loh, HPCA 2006).
+
+use phast_mdp::{
+    AccessStats, DepPrediction, LoadQuery, MemDepPredictor, PredictionOutcome, Violation,
+};
+
+/// Configuration of [`StoreVector`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreVectorConfig {
+    /// Number of load-PC-indexed vectors (power of two).
+    pub entries: usize,
+    /// Vector width: one bit per tracked store distance (≤ 128).
+    pub vector_bits: u32,
+    /// Clear the table after this many predictor events.
+    pub reset_period: u64,
+}
+
+impl StoreVectorConfig {
+    /// A configuration competitive with the paper's other baselines:
+    /// 1K vectors × 114 bits (the Alder-Lake store-buffer depth) ≈ 14.3 KB.
+    pub fn paper() -> StoreVectorConfig {
+        StoreVectorConfig { entries: 1024, vector_bits: 114, reset_period: 512 * 1024 }
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.entries * self.vector_bits as usize
+    }
+}
+
+/// The Store Vectors predictor: each load PC maps (tagless) to a bit
+/// vector over store distances; bit `d` set means "a store `d` stores
+/// older than this load has conflicted before, wait for it".
+pub struct StoreVector {
+    cfg: StoreVectorConfig,
+    vectors: Vec<u128>,
+    events: u64,
+    stats: AccessStats,
+}
+
+impl StoreVector {
+    /// Creates a Store Vectors predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `vector_bits > 128`.
+    pub fn new(cfg: StoreVectorConfig) -> StoreVector {
+        assert!(cfg.entries.is_power_of_two(), "entries must be a power of two");
+        assert!(cfg.vector_bits <= 128, "vector must fit in u128");
+        StoreVector { vectors: vec![0; cfg.entries], cfg, events: 0, stats: AccessStats::default() }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        (phast_mdp::pc_index_hash(pc) as usize) & (self.cfg.entries - 1)
+    }
+
+    fn tick(&mut self) {
+        self.events += 1;
+        if self.events.is_multiple_of(self.cfg.reset_period) {
+            self.vectors.fill(0);
+        }
+    }
+}
+
+impl MemDepPredictor for StoreVector {
+    fn name(&self) -> String {
+        format!("store-vector-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        self.tick();
+        self.stats.reads += 1;
+        let v = self.vectors[self.index(q.pc)];
+        // Only distances that currently name an in-flight store matter.
+        let live = if q.older_stores >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << q.older_stores) - 1
+        };
+        let masked = v & live;
+        if masked == 0 {
+            PredictionOutcome::none()
+        } else {
+            PredictionOutcome { dep: DepPrediction::DistanceMask(masked), hint: 0 }
+        }
+    }
+
+    fn train_violation(&mut self, v: &Violation<'_>) {
+        self.tick();
+        if v.store_distance < self.cfg.vector_bits {
+            self.stats.writes += 1;
+            let idx = self.index(v.load_pc);
+            self.vectors[idx] |= 1u128 << v.store_distance;
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.cfg.storage_bits()
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_branch::DivergentHistory;
+    use phast_mdp::PredictionOutcome as PO;
+
+    fn lq<'a>(pc: u64, older: u32, h: &'a DivergentHistory) -> LoadQuery<'a> {
+        LoadQuery { pc, token: 0, history: h, arch_seq: 0, older_stores: older }
+    }
+
+    fn viol<'a>(pc: u64, distance: u32, h: &'a DivergentHistory) -> Violation<'a> {
+        Violation {
+            load_pc: pc,
+            store_pc: 0,
+            store_distance: distance,
+            history_len: 1,
+            history: h,
+            load_token: 0,
+            store_token: 0,
+            prior: PO::none(),
+        }
+    }
+
+    #[test]
+    fn accumulates_distances() {
+        let h = DivergentHistory::new();
+        let mut p = StoreVector::new(StoreVectorConfig::paper());
+        p.train_violation(&viol(0x100, 0, &h));
+        p.train_violation(&viol(0x100, 3, &h));
+        assert_eq!(
+            p.predict_load(&lq(0x100, 8, &h)).dep,
+            DepPrediction::DistanceMask(0b1001),
+            "both learned distances are demanded"
+        );
+    }
+
+    #[test]
+    fn masks_to_live_stores() {
+        let h = DivergentHistory::new();
+        let mut p = StoreVector::new(StoreVectorConfig::paper());
+        p.train_violation(&viol(0x100, 5, &h));
+        assert_eq!(
+            p.predict_load(&lq(0x100, 3, &h)).dep,
+            DepPrediction::None,
+            "distance 5 is beyond the 3 in-flight stores"
+        );
+    }
+
+    #[test]
+    fn reset_clears_vectors() {
+        let h = DivergentHistory::new();
+        let mut p = StoreVector::new(StoreVectorConfig {
+            reset_period: 4,
+            ..StoreVectorConfig::paper()
+        });
+        p.train_violation(&viol(0x100, 0, &h));
+        for _ in 0..4 {
+            let _ = p.predict_load(&lq(0x900, 1, &h));
+        }
+        assert_eq!(p.predict_load(&lq(0x100, 4, &h)).dep, DepPrediction::None);
+    }
+
+    #[test]
+    fn distances_beyond_vector_are_ignored() {
+        let h = DivergentHistory::new();
+        let mut p = StoreVector::new(StoreVectorConfig {
+            vector_bits: 8,
+            ..StoreVectorConfig::paper()
+        });
+        p.train_violation(&viol(0x100, 20, &h));
+        assert_eq!(p.predict_load(&lq(0x100, 32, &h)).dep, DepPrediction::None);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        assert_eq!(StoreVectorConfig::paper().storage_bits(), 1024 * 114);
+    }
+}

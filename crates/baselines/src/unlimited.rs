@@ -1,0 +1,309 @@
+//! Unlimited (alias-free, unbounded) versions of NoSQ and MDP-TAGE for
+//! the paper's §III-C limit study (Fig. 6). These quantify how many paths
+//! each training policy must track and what performance it can at best
+//! reach, independent of storage constraints.
+
+use phast_branch::Path;
+use phast_isa::Pc;
+use phast_mdp::{
+    AccessStats, DepPrediction, LoadCommit, LoadQuery, MemDepPredictor, PredictionOutcome,
+    Violation,
+};
+use std::collections::HashMap;
+
+const MAX_COUNTER: u8 = 127;
+const THRESHOLD: u8 = 64;
+const PENALTY: u8 = 16;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    distance: u32,
+    counter: u8,
+}
+
+/// UnlimitedNoSQ: an exact map keyed by `(load PC, H-branch path)` for a
+/// **fixed** history length `H` — the x-axis of Fig. 6. No aliasing, no
+/// capacity limit; every distinct path allocates an entry, which is what
+/// makes long fixed histories explode (Fig. 6b).
+pub struct UnlimitedNoSq {
+    history_len: u32,
+    entries: HashMap<(Pc, Path), Entry>,
+    stats: AccessStats,
+}
+
+impl UnlimitedNoSq {
+    /// Creates an unlimited NoSQ tracking exactly `history_len` branches.
+    pub fn new(history_len: u32) -> UnlimitedNoSq {
+        UnlimitedNoSq { history_len, entries: HashMap::new(), stats: AccessStats::default() }
+    }
+
+    fn key(&self, pc: Pc, history: &phast_branch::DivergentHistory) -> (Pc, Path) {
+        (pc, history.path_plain(self.history_len as usize))
+    }
+}
+
+impl MemDepPredictor for UnlimitedNoSq {
+    fn name(&self) -> String {
+        format!("unlimited-nosq-h{}", self.history_len)
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        self.stats.reads += 1;
+        match self.entries.get(&self.key(q.pc, q.history)) {
+            Some(e) if e.counter >= THRESHOLD => {
+                PredictionOutcome { dep: DepPrediction::Distance(e.distance), hint: 0 }
+            }
+            _ => PredictionOutcome::none(),
+        }
+    }
+
+    fn train_violation(&mut self, v: &Violation<'_>) {
+        self.stats.writes += 1;
+        self.entries.insert(
+            self.key(v.load_pc, v.history),
+            Entry { distance: v.store_distance, counter: MAX_COUNTER },
+        );
+    }
+
+    fn load_committed(&mut self, c: &LoadCommit<'_>) {
+        let DepPrediction::Distance(_) = c.prediction.dep else { return };
+        let key = self.key(c.pc, c.history);
+        self.stats.writes += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            if c.waited_correct {
+                e.counter = MAX_COUNTER;
+            } else {
+                e.counter = e.counter.saturating_sub(PENALTY);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn num_paths(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+/// UnlimitedMDPTAGE: exact maps, one per geometric history length, trained
+/// with MDP-TAGE's escalation policy (start at the shortest length, go one
+/// longer after each misprediction). Shows that the brute-force length
+/// search scatters one dependence over many entries (§III-C).
+pub struct UnlimitedMdpTage {
+    lengths: Vec<u32>,
+    maps: Vec<HashMap<(Pc, Path), Entry>>,
+    /// Which length indices hold entries for each load PC — probing only
+    /// those keeps unbounded 2000-branch histories affordable to collect.
+    lengths_by_pc: HashMap<Pc, Vec<usize>>,
+    stats: AccessStats,
+}
+
+impl UnlimitedMdpTage {
+    /// Creates an unlimited MDP-TAGE on the paper's (6, 2000) geometric
+    /// length series.
+    pub fn new() -> UnlimitedMdpTage {
+        UnlimitedMdpTage::with_lengths(vec![6, 10, 17, 29, 50, 84, 143, 242, 411, 697, 1181, 2000])
+    }
+
+    /// Creates an unlimited MDP-TAGE with custom history lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengths` is empty.
+    pub fn with_lengths(lengths: Vec<u32>) -> UnlimitedMdpTage {
+        assert!(!lengths.is_empty(), "need at least one history length");
+        let maps = lengths.iter().map(|_| HashMap::new()).collect();
+        UnlimitedMdpTage { lengths, maps, lengths_by_pc: HashMap::new(), stats: AccessStats::default() }
+    }
+
+    fn key(&self, li: usize, pc: Pc, history: &phast_branch::DivergentHistory) -> (Pc, Path) {
+        (pc, history.path_plain(self.lengths[li] as usize))
+    }
+}
+
+impl Default for UnlimitedMdpTage {
+    fn default() -> Self {
+        UnlimitedMdpTage::new()
+    }
+}
+
+impl MemDepPredictor for UnlimitedMdpTage {
+    fn name(&self) -> String {
+        "unlimited-mdp-tage".into()
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        let Some(lis) = self.lengths_by_pc.get(&q.pc) else {
+            return PredictionOutcome::none();
+        };
+        let mut out = PredictionOutcome::none();
+        for &li in lis.clone().iter() {
+            self.stats.reads += 1;
+            let key = self.key(li, q.pc, q.history);
+            if let Some(e) = self.maps[li].get(&key) {
+                if e.counter >= THRESHOLD {
+                    out = PredictionOutcome {
+                        dep: DepPrediction::Distance(e.distance),
+                        hint: li as u64 + 1,
+                    };
+                }
+            }
+        }
+        out
+    }
+
+    fn train_violation(&mut self, v: &Violation<'_>) {
+        let target = if v.prior.dep.is_dependence() && v.prior.hint > 0 {
+            (v.prior.hint as usize).min(self.lengths.len() - 1)
+        } else {
+            0
+        };
+        let key = self.key(target, v.load_pc, v.history);
+        self.stats.writes += 1;
+        self.maps[target].insert(key, Entry { distance: v.store_distance, counter: MAX_COUNTER });
+        let lis = self.lengths_by_pc.entry(v.load_pc).or_default();
+        if !lis.contains(&target) {
+            lis.push(target);
+            lis.sort_unstable();
+        }
+    }
+
+    fn load_committed(&mut self, c: &LoadCommit<'_>) {
+        let DepPrediction::Distance(_) = c.prediction.dep else { return };
+        if c.prediction.hint == 0 {
+            return;
+        }
+        let li = (c.prediction.hint - 1) as usize;
+        let key = self.key(li, c.pc, c.history);
+        self.stats.writes += 1;
+        if let Some(e) = self.maps[li].get_mut(&key) {
+            if c.waited_correct {
+                e.counter = MAX_COUNTER;
+            } else {
+                e.counter = e.counter.saturating_sub(PENALTY);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn num_paths(&self) -> u64 {
+        self.maps.iter().map(|m| m.len() as u64).sum()
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_branch::{DivergentEvent, DivergentHistory};
+
+    fn history_with(events: &[(bool, u64)]) -> DivergentHistory {
+        let mut h = DivergentHistory::new();
+        for &(taken, target) in events {
+            h.push(DivergentEvent { indirect: false, taken, target });
+        }
+        h
+    }
+
+    fn lq<'a>(pc: Pc, h: &'a DivergentHistory) -> LoadQuery<'a> {
+        LoadQuery { pc, token: 0, history: h, arch_seq: 0, older_stores: 16 }
+    }
+
+    fn viol<'a>(
+        pc: Pc,
+        d: u32,
+        prior: PredictionOutcome,
+        h: &'a DivergentHistory,
+    ) -> Violation<'a> {
+        Violation {
+            load_pc: pc,
+            store_pc: 0,
+            store_distance: d,
+            history_len: 1,
+            history: h,
+            load_token: 0,
+            store_token: 0,
+            prior,
+        }
+    }
+
+    #[test]
+    fn unlimited_nosq_is_exact_at_its_length() {
+        let mut p = UnlimitedNoSq::new(2);
+        let h1 = history_with(&[(true, 1), (true, 2)]);
+        let h2 = history_with(&[(false, 1), (true, 2)]);
+        p.train_violation(&viol(0x100, 3, PredictionOutcome::none(), &h1));
+        assert_eq!(p.predict_load(&lq(0x100, &h1)).dep, DepPrediction::Distance(3));
+        assert_eq!(p.predict_load(&lq(0x100, &h2)).dep, DepPrediction::None);
+        assert_eq!(p.num_paths(), 1);
+    }
+
+    #[test]
+    fn longer_fixed_history_tracks_more_paths() {
+        // One dependence reachable under 4 different older contexts: with
+        // H=1 a single entry suffices; with H=3 the paths multiply.
+        let contexts: Vec<Vec<(bool, u64)>> = (0..4)
+            .map(|i| vec![(i & 1 == 0, 1u64), ((i >> 1) & 1 == 0, 2u64), (true, 3u64)])
+            .collect();
+        let mut short = UnlimitedNoSq::new(1);
+        let mut long = UnlimitedNoSq::new(3);
+        for ctx in &contexts {
+            let h = history_with(ctx);
+            short.train_violation(&viol(0x100, 0, PredictionOutcome::none(), &h));
+            long.train_violation(&viol(0x100, 0, PredictionOutcome::none(), &h));
+        }
+        assert_eq!(short.num_paths(), 1, "H=1 sees one path");
+        assert_eq!(long.num_paths(), 4, "H=3 explodes into all context combinations");
+    }
+
+    #[test]
+    fn unlimited_mdp_tage_escalates_and_scatters() {
+        let mut p = UnlimitedMdpTage::with_lengths(vec![1, 2, 4]);
+        let h = history_with(&[(true, 1), (false, 2), (true, 3), (false, 4)]);
+        p.train_violation(&viol(0x100, 1, PredictionOutcome::none(), &h));
+        assert_eq!(p.num_paths(), 1);
+        let prior = p.predict_load(&lq(0x100, &h));
+        p.train_violation(&viol(0x100, 2, prior, &h));
+        assert_eq!(p.num_paths(), 2, "the same dependence now occupies two lengths");
+        let out = p.predict_load(&lq(0x100, &h));
+        assert_eq!(out.dep, DepPrediction::Distance(2), "longest match provides");
+    }
+
+    #[test]
+    fn counters_gate_both_predictors() {
+        let mut p = UnlimitedNoSq::new(1);
+        let h = history_with(&[(true, 1)]);
+        p.train_violation(&viol(0x100, 0, PredictionOutcome::none(), &h));
+        let out = p.predict_load(&lq(0x100, &h));
+        for _ in 0..4 {
+            p.load_committed(&LoadCommit {
+                pc: 0x100,
+                prediction: out,
+                actual_distance: None,
+                waited_correct: false,
+                history: &h,
+            });
+        }
+        assert_eq!(p.predict_load(&lq(0x100, &h)).dep, DepPrediction::None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Microbenchmarks of the predictors' predict/train hot paths, isolated
+//! from the core simulator. These quantify the software cost of each
+//! lookup structure (the hardware cost is the Table II energy model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phast::{Phast, PhastConfig, UnlimitedPhast};
+use phast_baselines::{MdpTage, MdpTageConfig, NoSqConfig, NoSqPredictor, StoreSets, StoreSetsConfig};
+use phast_branch::{DivergentEvent, DivergentHistory};
+use phast_mdp::{LoadQuery, MemDepPredictor, PredictionOutcome, Violation};
+use std::hint::black_box;
+
+fn history(n: usize) -> DivergentHistory {
+    let mut h = DivergentHistory::new();
+    for i in 0..n {
+        h.push(DivergentEvent {
+            indirect: i % 5 == 0,
+            taken: i % 3 == 0,
+            target: (i as u64).wrapping_mul(0x9E37_79B9),
+        });
+    }
+    h
+}
+
+fn train(p: &mut dyn MemDepPredictor, h: &DivergentHistory, n: u64) {
+    for i in 0..n {
+        p.train_violation(&Violation {
+            load_pc: 0x40_0000 + (i % 64) * 4,
+            store_pc: 0x40_2000 + (i % 64) * 4,
+            store_distance: (i % 16) as u32,
+            history_len: (i % 12) as u32,
+            history: h,
+            load_token: i,
+            store_token: i,
+            prior: PredictionOutcome::none(),
+        });
+    }
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let h = history(256);
+    let mut g = c.benchmark_group("predict_load");
+    let mut subjects: Vec<(&str, Box<dyn MemDepPredictor>)> = vec![
+        ("phast", Box::new(Phast::new(PhastConfig::paper()))),
+        ("unlimited-phast", Box::new(UnlimitedPhast::new())),
+        ("nosq", Box::new(NoSqPredictor::new(NoSqConfig::paper()))),
+        ("store-sets", Box::new(StoreSets::new(StoreSetsConfig::paper()))),
+        ("mdp-tage", Box::new(MdpTage::new(MdpTageConfig::paper()))),
+        ("mdp-tage-s", Box::new(MdpTage::new(MdpTageConfig::short()))),
+    ];
+    for (name, p) in &mut subjects {
+        train(p.as_mut(), &h, 512);
+        g.bench_with_input(BenchmarkId::from_parameter(*name), &(), |b, ()| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let q = LoadQuery {
+                    pc: 0x40_0000 + (i % 64) * 4,
+                    token: i,
+                    history: &h,
+                    arch_seq: i,
+                    older_stores: 32,
+                };
+                black_box(p.predict_load(&q))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let h = history(256);
+    let mut g = c.benchmark_group("train_violation");
+    let mut subjects: Vec<(&str, Box<dyn MemDepPredictor>)> = vec![
+        ("phast", Box::new(Phast::new(PhastConfig::paper()))),
+        ("nosq", Box::new(NoSqPredictor::new(NoSqConfig::paper()))),
+        ("store-sets", Box::new(StoreSets::new(StoreSetsConfig::paper()))),
+        ("mdp-tage", Box::new(MdpTage::new(MdpTageConfig::paper()))),
+    ];
+    for (name, p) in &mut subjects {
+        g.bench_with_input(BenchmarkId::from_parameter(*name), &(), |b, ()| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                train(p.as_mut(), &h, 1);
+                black_box(i)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_train);
+criterion_main!(benches);

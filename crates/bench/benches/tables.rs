@@ -1,0 +1,22 @@
+//! Criterion benches for the paper's Table I and Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phast_bench::bench_budget;
+use phast_experiments::figures;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let budget = bench_budget();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_system_config", |b| {
+        b.iter(|| black_box(figures::table1::run(&budget)))
+    });
+    g.bench_function("table2_predictor_configs", |b| {
+        b.iter(|| black_box(figures::table2::run(&budget)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

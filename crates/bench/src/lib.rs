@@ -1,0 +1,15 @@
+//! Criterion benches regenerating each table and figure of the PHAST
+//! paper at a reduced budget.
+//!
+//! * `benches/figures.rs` — one bench per figure, driving the same
+//!   runners as `cargo run -p phast-experiments` (use that binary for the
+//!   full-budget numbers; the benches measure harness cost and guard
+//!   against regressions).
+//! * `benches/tables.rs` — Table I/II generation.
+//! * `benches/predictor_micro.rs` — microbenchmarks of the predictors'
+//!   predict/train paths in isolation.
+
+/// The budget benches run at (small, so `cargo bench` stays minutes).
+pub fn bench_budget() -> phast_experiments::Budget {
+    phast_experiments::Budget { insts: 10_000, workload_iters: 60_000, max_workloads: Some(2) }
+}

@@ -1,0 +1,61 @@
+//! PHAST: PatH-Aware STore-distance memory dependence prediction.
+//!
+//! This crate implements the paper's contribution (HPCA 2024): a
+//! context-sensitive memory dependence predictor that, on each conflict,
+//! trains with exactly the history length that identifies the path from
+//! the conflicting store to the dependent load — N+1 divergent branches,
+//! where N is the number of divergent branches between the two (§IV).
+//!
+//! Two implementations are provided:
+//!
+//! * [`Phast`] — the cost-effective implementation of §IV-B: one
+//!   four-way set-associative table per configured history length
+//!   (default lengths 0, 2, 4, 6, 8, 12, 16, 32), 16-bit tags, 7-bit
+//!   store distances, 4-bit confidence counters and 2-bit LRU. The paper
+//!   configuration occupies exactly 14.5 KB.
+//! * [`UnlimitedPhast`] — the §III-C limit study: unbounded, alias-free
+//!   storage keyed by the exact (load PC, path) pair, trained at the
+//!   exact N+1 length. Used for Figs. 6–11.
+
+#![warn(missing_docs)]
+
+mod limited;
+mod unlimited;
+
+pub use limited::{Phast, PhastConfig};
+pub use unlimited::UnlimitedPhast;
+
+/// Truncates a trained history length to the largest configured length
+/// that does not exceed it (§IV-B: "histories not covered by this sequence
+/// are truncated", e.g. lengths 9–11 use the 8 branches closest to the
+/// load). Lengths above the maximum use the maximum.
+pub fn truncate_length(lengths: &[u32], history_len: u32) -> u32 {
+    let mut best = *lengths.first().expect("at least one length");
+    for &l in lengths {
+        if l <= history_len && l >= best {
+            best = l;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: &[u32] = &[0, 2, 4, 6, 8, 12, 16, 32];
+
+    #[test]
+    fn truncation_follows_the_paper_example() {
+        for h in [9, 10, 11] {
+            assert_eq!(truncate_length(PAPER, h), 8, "9-11 branches use the 8 closest");
+        }
+        assert_eq!(truncate_length(PAPER, 0), 0);
+        assert_eq!(truncate_length(PAPER, 1), 0);
+        assert_eq!(truncate_length(PAPER, 2), 2);
+        assert_eq!(truncate_length(PAPER, 7), 6);
+        assert_eq!(truncate_length(PAPER, 31), 16);
+        assert_eq!(truncate_length(PAPER, 32), 32);
+        assert_eq!(truncate_length(PAPER, 1000), 32, "beyond max uses max");
+    }
+}

@@ -1,0 +1,424 @@
+//! The cost-effective PHAST implementation (§IV-B).
+
+use crate::truncate_length;
+use phast_branch::{DivergentHistory, Path};
+use phast_isa::Pc;
+use phast_mdp::{
+    pc_index_hash, pc_tag_hash, AccessStats, AssocTable, DepPrediction, LoadCommit, LoadQuery,
+    MemDepPredictor, PredictionOutcome, TableGeometry, Violation, MAX_STORE_DISTANCE,
+};
+
+/// Configuration of the table-based PHAST predictor.
+#[derive(Clone, Debug)]
+pub struct PhastConfig {
+    /// History lengths, one prediction table per length, ascending.
+    pub history_lengths: Vec<u32>,
+    /// Sets per table (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Partial tag bits per entry.
+    pub tag_bits: u32,
+    /// Confidence counter bits.
+    pub confidence_bits: u32,
+    /// Store distance bits.
+    pub distance_bits: u32,
+    /// Apply the paper's N+1 rule: collect L+1 history entries per
+    /// length-L table, the oldest carrying the destination of the
+    /// divergent branch previous to the store (§IV-A2). Disabling this is
+    /// the ablation showing why Fig. 5-style paths need the extra entry.
+    pub n_plus_one: bool,
+}
+
+impl PhastConfig {
+    /// The paper's 14.5 KB configuration: 8 tables at lengths
+    /// (0, 2, 4, 6, 8, 12, 16, 32), 128 sets × 4 ways each, 16-bit tags,
+    /// 7-bit distances, 4-bit confidence, 2-bit LRU.
+    pub fn paper() -> PhastConfig {
+        PhastConfig {
+            history_lengths: vec![0, 2, 4, 6, 8, 12, 16, 32],
+            sets: 128,
+            ways: 4,
+            tag_bits: 16,
+            confidence_bits: 4,
+            distance_bits: 7,
+            n_plus_one: true,
+        }
+    }
+
+    /// The paper configuration without the N+1 destination rule: tables
+    /// hash exactly L plain entries (outcome bits + indirect targets),
+    /// like NoSQ/MDP-TAGE histories. Ablation only.
+    pub fn without_n_plus_one() -> PhastConfig {
+        PhastConfig { n_plus_one: false, ..PhastConfig::paper() }
+    }
+
+    /// The paper configuration with a different confidence width
+    /// (sensitivity ablation; the paper uses 4 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 7`.
+    pub fn with_confidence_bits(bits: u32) -> PhastConfig {
+        assert!((1..=7).contains(&bits), "confidence must be 1..=7 bits");
+        PhastConfig { confidence_bits: bits, ..PhastConfig::paper() }
+    }
+
+    /// The paper configuration scaled to a different per-table set count
+    /// (for the Fig. 13 performance-versus-storage sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two.
+    pub fn with_sets(sets: usize) -> PhastConfig {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        PhastConfig { sets, ..PhastConfig::paper() }
+    }
+
+    /// Bits per entry: tag + distance + confidence + LRU.
+    pub fn entry_bits(&self) -> usize {
+        let lru_bits =
+            TableGeometry { sets: self.sets, ways: self.ways, tag_bits: self.tag_bits }.lru_bits();
+        self.tag_bits as usize + self.distance_bits as usize + self.confidence_bits as usize
+            + lru_bits
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.history_lengths.len() * self.sets * self.ways * self.entry_bits()
+    }
+
+    fn max_confidence(&self) -> u8 {
+        ((1u32 << self.confidence_bits) - 1) as u8
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    distance: u8,
+    confidence: u8,
+}
+
+/// The PHAST memory dependence predictor.
+///
+/// One set-associative table per history length. Predictions probe all
+/// tables in parallel (like a TAGE lookup) using the decode-time divergent
+/// history; training writes exactly one table — the one whose length is
+/// the truncated N+1 store→load path length (§IV-A2). The longest matching
+/// history provides the prediction.
+pub struct Phast {
+    cfg: PhastConfig,
+    tables: Vec<AssocTable<Entry>>,
+    index_bits: u32,
+    stats: AccessStats,
+}
+
+impl Phast {
+    /// Creates a PHAST predictor.
+    pub fn new(cfg: PhastConfig) -> Phast {
+        assert!(!cfg.history_lengths.is_empty(), "need at least one history length");
+        let geo = TableGeometry { sets: cfg.sets, ways: cfg.ways, tag_bits: cfg.tag_bits };
+        let tables = cfg.history_lengths.iter().map(|_| AssocTable::new(geo)).collect();
+        Phast { index_bits: cfg.sets.trailing_zeros(), tables, cfg, stats: AccessStats::default() }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &PhastConfig {
+        &self.cfg
+    }
+
+    /// Computes the `(index, tag)` pair for a load PC and a collected path.
+    /// The folded history spans S+T bits; index and tag take disjoint
+    /// slices, each XORed with a distinct PC hash (§IV-B).
+    fn index_tag(&self, pc: Pc, path: &Path) -> (u64, u64) {
+        let s = self.index_bits;
+        let t = self.cfg.tag_bits;
+        let folded = path.fold(s + t);
+        let index = pc_index_hash(pc) ^ (folded & ((1 << s) - 1));
+        let tag = pc_tag_hash(pc) ^ (folded >> s);
+        (index, tag)
+    }
+
+    /// Probes one table; returns the entry's distance if confident.
+    ///
+    /// A table configured for length L (L = divergent branches between
+    /// store and load) hashes L+1 history entries: the paper's N+1 rule
+    /// always includes the divergent branch previous to the store.
+    fn collect(&self, len: u32, history: &DivergentHistory) -> Path {
+        if self.cfg.n_plus_one {
+            history.path(len as usize + 1)
+        } else {
+            history.path_plain(len as usize)
+        }
+    }
+
+    fn probe(&mut self, li: usize, pc: Pc, history: &DivergentHistory) -> Option<u32> {
+        let path = self.collect(self.cfg.history_lengths[li], history);
+        let (index, tag) = self.index_tag(pc, &path);
+        self.stats.reads += 1;
+        let entry = self.tables[li].peek(index, tag)?;
+        (entry.confidence > 0).then_some(u32::from(entry.distance))
+    }
+}
+
+impl MemDepPredictor for Phast {
+    fn name(&self) -> String {
+        format!("phast-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        // Probe every table; the longest matching history wins (§IV-A3).
+        let mut best: Option<(usize, u32)> = None;
+        for li in 0..self.tables.len() {
+            if let Some(dist) = self.probe(li, q.pc, q.history) {
+                best = Some((li, dist));
+            }
+        }
+        match best {
+            Some((li, dist)) => {
+                PredictionOutcome { dep: DepPrediction::Distance(dist), hint: li as u64 }
+            }
+            None => PredictionOutcome::none(),
+        }
+    }
+
+    fn train_violation(&mut self, v: &Violation<'_>) {
+        // Train with the minimum effective history length: the truncated
+        // N+1 store→load path length.
+        let len = truncate_length(&self.cfg.history_lengths, v.history_len);
+        let li = self
+            .cfg
+            .history_lengths
+            .iter()
+            .position(|&l| l == len)
+            .expect("truncate_length returns a configured length");
+        let path = self.collect(len, v.history);
+        let (index, tag) = self.index_tag(v.load_pc, &path);
+        let entry = Entry {
+            distance: v.store_distance.min(MAX_STORE_DISTANCE) as u8,
+            confidence: self.cfg.max_confidence(),
+        };
+        self.stats.writes += 1;
+        self.tables[li].insert(index, tag, entry);
+    }
+
+    fn load_committed(&mut self, c: &LoadCommit<'_>) {
+        // Only predictions that made the load wait carry feedback (§IV-A2).
+        let DepPrediction::Distance(_) = c.prediction.dep else { return };
+        let li = c.prediction.hint as usize;
+        if li >= self.tables.len() {
+            return;
+        }
+        let path = self.collect(self.cfg.history_lengths[li], c.history);
+        let (index, tag) = self.index_tag(c.pc, &path);
+        let max = self.cfg.max_confidence();
+        self.stats.writes += 1;
+        if let Some(e) = self.tables[li].lookup(index, tag) {
+            if c.waited_correct {
+                e.confidence = max;
+            } else {
+                e.confidence = e.confidence.saturating_sub(1);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.cfg.storage_bits()
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_access_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_branch::DivergentEvent;
+
+    fn history_with(events: &[(bool, u64)]) -> DivergentHistory {
+        let mut h = DivergentHistory::new();
+        for &(taken, target) in events {
+            h.push(DivergentEvent { indirect: false, taken, target });
+        }
+        h
+    }
+
+    fn violation<'a>(
+        load_pc: Pc,
+        distance: u32,
+        history_len: u32,
+        history: &'a DivergentHistory,
+    ) -> Violation<'a> {
+        Violation {
+            load_pc,
+            store_pc: 0x40_2000,
+            store_distance: distance,
+            history_len,
+            history,
+            load_token: 1,
+            store_token: 0,
+            prior: PredictionOutcome::none(),
+        }
+    }
+
+    fn query<'a>(pc: Pc, history: &'a DivergentHistory) -> LoadQuery<'a> {
+        LoadQuery { pc, token: 9, history, arch_seq: 0, older_stores: 8 }
+    }
+
+    #[test]
+    fn paper_config_is_14_5_kb() {
+        let cfg = PhastConfig::paper();
+        assert_eq!(cfg.entry_bits(), 16 + 7 + 4 + 2);
+        assert_eq!(cfg.storage_bits(), 8 * 512 * 29);
+        assert_eq!(cfg.storage_bits() as f64 / 8192.0, 14.5, "Table II: 14.5 KB");
+    }
+
+    #[test]
+    fn cold_predictor_predicts_nothing() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let h = history_with(&[(true, 3), (false, 5)]);
+        assert_eq!(p.predict_load(&query(0x40_0100, &h)).dep, DepPrediction::None);
+    }
+
+    #[test]
+    fn trains_and_predicts_same_context() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let h = history_with(&[(true, 3), (false, 5), (true, 9)]);
+        // N = 1 branch between store and load -> history_len = 2.
+        p.train_violation(&violation(0x40_0100, 4, 2, &h));
+        let out = p.predict_load(&query(0x40_0100, &h));
+        assert_eq!(out.dep, DepPrediction::Distance(4));
+        assert_eq!(out.hint, 1, "provided by the length-2 table");
+    }
+
+    #[test]
+    fn different_path_does_not_predict() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let trained = history_with(&[(true, 3), (true, 9)]);
+        p.train_violation(&violation(0x40_0100, 4, 2, &trained));
+        let other = history_with(&[(false, 3), (true, 9)]);
+        assert_eq!(
+            p.predict_load(&query(0x40_0100, &other)).dep,
+            DepPrediction::None,
+            "a different divergent outcome inside the path must miss"
+        );
+    }
+
+    #[test]
+    fn longest_matching_history_wins() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let h = history_with(&[(true, 1), (true, 2), (true, 3), (true, 4)]);
+        p.train_violation(&violation(0x40_0100, 1, 0, &h)); // length-0 table
+        p.train_violation(&violation(0x40_0100, 7, 4, &h)); // length-4 table
+        let out = p.predict_load(&query(0x40_0100, &h));
+        assert_eq!(out.dep, DepPrediction::Distance(7), "longer history preferred");
+    }
+
+    #[test]
+    fn confidence_decrements_until_disabled() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let h = history_with(&[(true, 1)]);
+        p.train_violation(&violation(0x40_0100, 2, 0, &h));
+        let out = p.predict_load(&query(0x40_0100, &h));
+        assert_eq!(out.dep, DepPrediction::Distance(2));
+        // 15 wrong waits exhaust the 4-bit confidence counter.
+        for _ in 0..15 {
+            p.load_committed(&LoadCommit {
+                pc: 0x40_0100,
+                prediction: out,
+                actual_distance: None,
+                waited_correct: false,
+                history: &h,
+            });
+        }
+        assert_eq!(
+            p.predict_load(&query(0x40_0100, &h)).dep,
+            DepPrediction::None,
+            "zero confidence disables the prediction"
+        );
+    }
+
+    #[test]
+    fn correct_wait_resets_confidence() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let h = history_with(&[(true, 1)]);
+        p.train_violation(&violation(0x40_0100, 2, 0, &h));
+        let out = p.predict_load(&query(0x40_0100, &h));
+        for _ in 0..10 {
+            p.load_committed(&LoadCommit {
+                pc: 0x40_0100,
+                prediction: out,
+                actual_distance: None,
+                waited_correct: false,
+                history: &h,
+            });
+        }
+        p.load_committed(&LoadCommit {
+            pc: 0x40_0100,
+            prediction: out,
+            actual_distance: Some(2),
+            waited_correct: true,
+            history: &h,
+        });
+        for _ in 0..5 {
+            p.load_committed(&LoadCommit {
+                pc: 0x40_0100,
+                prediction: out,
+                actual_distance: None,
+                waited_correct: false,
+                history: &h,
+            });
+        }
+        assert_eq!(
+            p.predict_load(&query(0x40_0100, &h)).dep,
+            DepPrediction::Distance(2),
+            "reset to max keeps the entry alive through 5 further misses"
+        );
+    }
+
+    #[test]
+    fn long_histories_truncate_to_32() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let events: Vec<(bool, u64)> = (0..40).map(|i| (i % 2 == 0, i)).collect();
+        let h = history_with(&events);
+        p.train_violation(&violation(0x40_0100, 3, 40, &h));
+        let out = p.predict_load(&query(0x40_0100, &h));
+        assert_eq!(out.dep, DepPrediction::Distance(3));
+        assert_eq!(out.hint, 7, "provided by the length-32 table");
+    }
+
+    #[test]
+    fn distance_clamps_to_field_width() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let h = history_with(&[(true, 1)]);
+        p.train_violation(&violation(0x40_0100, 500, 0, &h));
+        assert_eq!(
+            p.predict_load(&query(0x40_0100, &h)).dep,
+            DepPrediction::Distance(127),
+            "7-bit distance field saturates"
+        );
+    }
+
+    #[test]
+    fn access_stats_count_probes_and_writes() {
+        let mut p = Phast::new(PhastConfig::paper());
+        let h = history_with(&[(true, 1)]);
+        let _ = p.predict_load(&query(0x40_0100, &h));
+        assert_eq!(p.access_stats().reads, 8, "one probe per table");
+        p.train_violation(&violation(0x40_0100, 1, 0, &h));
+        assert_eq!(p.access_stats().writes, 1);
+        p.reset_access_stats();
+        assert_eq!(p.access_stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn storage_sweep_configs() {
+        assert_eq!(PhastConfig::with_sets(64).storage_bits() as f64 / 8192.0, 7.25);
+        assert_eq!(PhastConfig::with_sets(256).storage_bits() as f64 / 8192.0, 29.0);
+    }
+}

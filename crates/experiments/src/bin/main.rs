@@ -1,0 +1,74 @@
+//! Command-line entry point regenerating any table or figure of the paper.
+//!
+//! ```text
+//! cargo run -p phast-experiments --release -- fig15
+//! cargo run -p phast-experiments --release -- all
+//! cargo run -p phast-experiments --release -- --quick fig6
+//! ```
+
+use phast_experiments::figures;
+use phast_experiments::Budget;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "table1", "table2", "ablations",
+];
+
+fn run_experiment(id: &str, budget: &Budget) -> Option<String> {
+    let out = match id {
+        "fig1" => figures::fig1::run(budget),
+        "fig2" => figures::fig2::run(budget),
+        "fig4" => figures::fig4::run(budget),
+        // Figs. 7, 8 and 9 share one characterization run.
+        "fig6" => figures::fig6::run(budget),
+        "fig7" | "fig8" | "fig9" => figures::fig789::run(budget),
+        "fig10" => figures::fig10::run(budget),
+        "fig11" => figures::fig11::run(budget),
+        "fig12" => figures::fig12::run(budget),
+        "fig13" => figures::fig13::run(budget),
+        "fig14" => figures::fig14::run(budget),
+        "fig15" => figures::fig15::run(budget).report,
+        "fig16" => figures::fig16::run(budget),
+        "table1" => figures::table1::run(budget),
+        "table2" => figures::table2::run(budget),
+        "ablations" => phast_experiments::ablations::run(budget),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let budget = if quick { Budget::quick() } else { Budget::full() };
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    if ids.is_empty() {
+        eprintln!("usage: phast-experiments [--quick] <experiment>...");
+        eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+
+    let selected: Vec<&str> = if ids == ["all"] {
+        let mut v = EXPERIMENTS.to_vec();
+        // fig7/8/9 share a runner; keep one instance.
+        v.retain(|e| *e != "fig8" && *e != "fig9");
+        v
+    } else {
+        ids
+    };
+
+    for id in selected {
+        let start = std::time::Instant::now();
+        match run_experiment(id, &budget) {
+            Some(out) => {
+                println!("=== {id} ===\n{out}");
+                println!("[{id} took {:.1?}]\n", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; known: {}", EXPERIMENTS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

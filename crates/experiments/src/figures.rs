@@ -1,0 +1,591 @@
+//! One runner per table/figure of the paper. Every function takes a
+//! [`Budget`] and returns a displayable report.
+
+use crate::harness::{geomean, normalized_ipc, run_all, Budget, RunResult};
+use crate::predictors::PredictorKind;
+use crate::tablefmt::{f3, pct, TextTable};
+use phast_ooo::{simulate_with_direction, CoreConfig};
+
+fn ideal_runs(cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
+    run_all(&PredictorKind::Ideal, cfg, budget)
+}
+
+/// Fig. 1: 30 years of branch predictors versus memory dependence
+/// predictors, as average MPKI on a Nehalem-like core.
+pub mod fig1 {
+    use super::*;
+    use phast_branch::{Bimodal, DirectionPredictor, GShare, Perceptron, StaticTaken, Tage, TageConfig};
+
+    /// Constructor for one point on the branch-predictor timeline.
+    type DirFactory = Box<dyn Fn() -> Box<dyn DirectionPredictor>>;
+
+    /// Runs the study.
+    pub fn run(budget: &Budget) -> String {
+        let cfg = CoreConfig::nehalem();
+        let mut out = String::from("Fig. 1 — branch vs memory dependence prediction MPKI (Nehalem-like)\n\n");
+
+        let mut t = TextTable::new(vec!["branch predictor (year)", "avg branch MPKI"]);
+        let dirs: Vec<(&str, DirFactory)> = vec![
+            ("static-taken (1983)", Box::new(|| Box::new(StaticTaken))),
+            ("bimodal (1985)", Box::new(|| Box::new(Bimodal::new(4096)))),
+            ("gshare (1993)", Box::new(|| Box::new(GShare::new(8192, 12)))),
+            ("perceptron (2001)", Box::new(|| Box::new(Perceptron::new(512, 32)))),
+            ("tage (2011)", Box::new(|| Box::new(Tage::new(TageConfig::default())))),
+        ];
+        for (name, make) in &dirs {
+            let mut mpki = Vec::new();
+            for w in budget.workloads() {
+                let program = w.build(budget.workload_iters);
+                let kind = PredictorKind::StoreSets;
+                let mut pred = kind.build(&program, budget.insts);
+                let mut c = cfg.clone();
+                c.train_point = kind.train_point();
+                let stats =
+                    simulate_with_direction(&program, &c, pred.as_mut(), make(), budget.insts);
+                mpki.push(stats.branch_mpki());
+            }
+            let avg = mpki.iter().sum::<f64>() / mpki.len() as f64;
+            t.row(vec![name.to_string(), f3(avg)]);
+        }
+        out.push_str(&t.to_string());
+
+        let mut t = TextTable::new(vec![
+            "memory dependence predictor (year)",
+            "avg MPKI violations (FN)",
+            "avg MPKI false deps (FP)",
+        ]);
+        let mdps = [
+            ("store-sets (1998)", PredictorKind::StoreSets),
+            ("cht (1999)", PredictorKind::Cht),
+            ("store-vector (2006)", PredictorKind::StoreVector),
+            ("nosq (2006)", PredictorKind::NoSq),
+            ("mdp-tage (2018)", PredictorKind::MdpTage),
+            ("phast (2024)", PredictorKind::Phast),
+        ];
+        for (name, kind) in &mdps {
+            let runs = run_all(kind, &cfg, budget);
+            let fnm = runs.iter().map(|r| r.stats.violation_mpki()).sum::<f64>() / runs.len() as f64;
+            let fpm = runs.iter().map(|r| r.stats.false_dep_mpki()).sum::<f64>() / runs.len() as f64;
+            t.row(vec![name.to_string(), f3(fnm), f3(fpm)]);
+        }
+        out.push('\n');
+        out.push_str(&t.to_string());
+        out
+    }
+}
+
+/// Fig. 2: MDP MPKI (a) and gap to ideal (b) across processor generations.
+pub mod fig2 {
+    use super::*;
+
+    /// Runs the study.
+    pub fn run(budget: &Budget) -> String {
+        let kinds = PredictorKind::headline();
+        let mut mpki_t = TextTable::new(vec![
+            "generation",
+            "store-sets",
+            "nosq",
+            "mdp-tage",
+            "mdp-tage-s",
+            "phast",
+        ]);
+        let mut gap_t = mpki_t.clone();
+        for cfg in CoreConfig::generations() {
+            let ideal = ideal_runs(&cfg, budget);
+            let mut mpki_row = vec![cfg.name.to_string()];
+            let mut gap_row = vec![cfg.name.to_string()];
+            for kind in &kinds {
+                let runs = run_all(kind, &cfg, budget);
+                let avg_mpki =
+                    runs.iter().map(|r| r.stats.total_mpki()).sum::<f64>() / runs.len() as f64;
+                let gap = 1.0 - geomean(&normalized_ipc(&runs, &ideal));
+                mpki_row.push(f3(avg_mpki));
+                gap_row.push(pct(gap));
+            }
+            mpki_t.row(mpki_row);
+            gap_t.row(gap_row);
+        }
+        format!(
+            "Fig. 2a — average MDP MPKI per processor generation\n\n{mpki_t}\n\
+             Fig. 2b — performance gap versus ideal MDP (lower is better)\n\n{gap_t}"
+        )
+    }
+}
+
+/// Fig. 4: percentage of loads depending on multiple stores.
+pub mod fig4 {
+    use super::*;
+    use phast_mdp::DepOracle;
+
+    /// Runs the study (pure emulation, no timing simulation).
+    pub fn run(budget: &Budget) -> String {
+        let mut t = TextTable::new(vec![
+            "workload",
+            "loads",
+            "multi-store loads",
+            "% of loads",
+            "% same base reg",
+        ]);
+        let mut total_pct = Vec::new();
+        for w in budget.workloads() {
+            let program = w.build(budget.workload_iters);
+            let oracle = DepOracle::build(&program, budget.insts, 512).expect("emulates");
+            let s = oracle.multi_store_stats();
+            total_pct.push(s.multi_pct());
+            t.row(vec![
+                w.name.to_string(),
+                s.loads.to_string(),
+                s.multi_store_loads.to_string(),
+                format!("{:.3}%", s.multi_pct()),
+                format!("{:.1}%", s.same_base_pct()),
+            ]);
+        }
+        let avg = total_pct.iter().sum::<f64>() / total_pct.len() as f64;
+        format!(
+            "Fig. 4 — loads depending on multiple stores (paper: 0.04% avg, 70% same-register)\n\n{t}\naverage: {avg:.3}%\n"
+        )
+    }
+}
+
+/// Fig. 6: unlimited NoSQ (history 1–16) vs unlimited MDP-TAGE vs
+/// unlimited PHAST — normalized IPC and tracked paths.
+pub mod fig6 {
+    use super::*;
+
+    /// Runs the limit study.
+    pub fn run(budget: &Budget) -> String {
+        let cfg = CoreConfig::alder_lake();
+        let ideal = ideal_runs(&cfg, budget);
+        let mut t = TextTable::new(vec!["predictor", "norm. IPC (geomean)", "avg paths tracked"]);
+        let mut kinds: Vec<PredictorKind> =
+            (1..=16).map(PredictorKind::UnlimitedNoSq).collect();
+        kinds.push(PredictorKind::UnlimitedMdpTage);
+        kinds.push(PredictorKind::UnlimitedPhast(None));
+        for kind in &kinds {
+            let runs = run_all(kind, &cfg, budget);
+            let ipc = geomean(&normalized_ipc(&runs, &ideal));
+            let paths =
+                runs.iter().map(|r| r.num_paths as f64).sum::<f64>() / runs.len() as f64;
+            t.row(vec![kind.label(), format!("{ipc:.4}"), format!("{paths:.0}")]);
+        }
+        format!("Fig. 6 — unlimited-predictor limit study (IPC normalized to ideal)\n\n{t}")
+    }
+}
+
+/// Fig. 7/8/9: UnlimitedPHAST per-workload normalized IPC, MPKI and paths.
+pub mod fig789 {
+    use super::*;
+
+    /// Runs the per-workload UnlimitedPHAST characterization.
+    pub fn run(budget: &Budget) -> String {
+        let cfg = CoreConfig::alder_lake();
+        let ideal = ideal_runs(&cfg, budget);
+        let runs = run_all(&PredictorKind::UnlimitedPhast(None), &cfg, budget);
+        let mut t = TextTable::new(vec![
+            "workload",
+            "norm. IPC (fig 7)",
+            "MPKI FN (fig 8)",
+            "MPKI FP (fig 8)",
+            "paths (fig 9)",
+        ]);
+        for (r, i) in runs.iter().zip(&ideal) {
+            t.row(vec![
+                r.workload.clone(),
+                format!("{:.4}", r.stats.ipc() / i.stats.ipc()),
+                f3(r.stats.violation_mpki()),
+                f3(r.stats.false_dep_mpki()),
+                r.num_paths.to_string(),
+            ]);
+        }
+        let g = geomean(&normalized_ipc(&runs, &ideal));
+        format!(
+            "Figs. 7-9 — UnlimitedPHAST per workload (paper: 0.47% mean gap to ideal)\n\n{t}\ngeomean normalized IPC: {g:.4} (gap {:.2}%)\n",
+            100.0 * (1.0 - g)
+        )
+    }
+}
+
+/// Fig. 10: percentage of unique conflicts detected at each history length.
+pub mod fig10 {
+    use super::*;
+    use phast::UnlimitedPhast;
+    use phast_ooo::simulate;
+
+    /// Runs the study; the histogram needs direct access to the
+    /// UnlimitedPHAST internals, so it bypasses the predictor factory.
+    pub fn run(budget: &Budget) -> String {
+        let mut histogram: Vec<u64> = Vec::new();
+        for w in budget.workloads() {
+            let program = w.build(budget.workload_iters);
+            let mut pred = UnlimitedPhast::new();
+            let mut cfg = CoreConfig::alder_lake();
+            cfg.train_point = PredictorKind::UnlimitedPhast(None).train_point();
+            let _ = simulate(&program, &cfg, &mut pred, budget.insts);
+            for (len, &n) in pred.length_histogram().iter().enumerate() {
+                if histogram.len() <= len {
+                    histogram.resize(len + 1, 0);
+                }
+                histogram[len] += n;
+            }
+        }
+        let total: u64 = histogram.iter().sum();
+        let mut t = TextTable::new(vec!["history length (N)", "unique conflicts", "% of total"]);
+        let mut within_32 = 0u64;
+        for (len, &n) in histogram.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if len <= 32 {
+                within_32 += n;
+            }
+            t.row(vec![
+                len.to_string(),
+                n.to_string(),
+                format!("{:.2}%", 100.0 * n as f64 / total.max(1) as f64),
+            ]);
+        }
+        format!(
+            "Fig. 10 — unique conflicts per store→load history length\n\n{t}\n\
+             conflicts with N <= 32: {:.1}% (paper: 85.4%)\n",
+            100.0 * within_32 as f64 / total.max(1) as f64
+        )
+    }
+}
+
+/// Fig. 11: UnlimitedPHAST IPC at several maximum history lengths.
+pub mod fig11 {
+    use super::*;
+
+    /// Runs the sweep.
+    pub fn run(budget: &Budget) -> String {
+        let cfg = CoreConfig::alder_lake();
+        let ideal = ideal_runs(&cfg, budget);
+        let mut t = TextTable::new(vec!["max history length", "norm. IPC (geomean)"]);
+        for max in [Some(4), Some(8), Some(16), Some(32), Some(64), None] {
+            let runs = run_all(&PredictorKind::UnlimitedPhast(max), &cfg, budget);
+            let g = geomean(&normalized_ipc(&runs, &ideal));
+            let label = max.map_or("unlimited".to_string(), |m| m.to_string());
+            t.row(vec![label, format!("{g:.4}")]);
+        }
+        format!("Fig. 11 — UnlimitedPHAST at capped history lengths (32 should suffice)\n\n{t}")
+    }
+}
+
+/// Fig. 12: effect of the forwarding squash filter (§IV-A1).
+pub mod fig12 {
+    use super::*;
+
+    /// Runs the ablation.
+    pub fn run(budget: &Budget) -> String {
+        let mut t = TextTable::new(vec!["predictor", "no-FWD norm. IPC", "FWD norm. IPC"]);
+        let mut on_cfg = CoreConfig::alder_lake();
+        on_cfg.forwarding_filter = true;
+        let mut off_cfg = CoreConfig::alder_lake();
+        off_cfg.forwarding_filter = false;
+        // Both variants are normalized to the FWD-on ideal, as the paper
+        // normalizes everything to its (single) perfect predictor.
+        let ideal = ideal_runs(&on_cfg, budget);
+        for kind in PredictorKind::headline() {
+            let on = geomean(&normalized_ipc(&run_all(&kind, &on_cfg, budget), &ideal));
+            let off = geomean(&normalized_ipc(&run_all(&kind, &off_cfg, budget), &ideal));
+            t.row(vec![kind.label(), format!("{off:.4}"), format!("{on:.4}")]);
+        }
+        format!("Fig. 12 — squash filtering through forwarding on/off\n\n{t}")
+    }
+}
+
+/// Fig. 13: performance versus storage.
+pub mod fig13 {
+    use super::*;
+
+    /// Runs the sweep.
+    pub fn run(budget: &Budget) -> String {
+        let cfg = CoreConfig::alder_lake();
+        let ideal = ideal_runs(&cfg, budget);
+        let mut t = TextTable::new(vec!["predictor", "storage (KB)", "norm. IPC (geomean)"]);
+        let sweeps: Vec<PredictorKind> = vec![
+            PredictorKind::PhastSets(32),
+            PredictorKind::PhastSets(64),
+            PredictorKind::Phast,
+            PredictorKind::PhastSets(256),
+            PredictorKind::NoSqSets(128),
+            PredictorKind::NoSqSets(256),
+            PredictorKind::NoSq,
+            PredictorKind::NoSqSets(1024),
+            PredictorKind::StoreSetsSized(2048, 1024),
+            PredictorKind::StoreSetsSized(4096, 2048),
+            PredictorKind::StoreSets,
+            PredictorKind::StoreSetsSized(16384, 8192),
+            PredictorKind::MdpTageScaled(1, 4),
+            PredictorKind::MdpTageScaled(1, 2),
+            PredictorKind::MdpTage,
+            PredictorKind::MdpTageS,
+        ];
+        for kind in &sweeps {
+            let runs = run_all(kind, &cfg, budget);
+            let g = geomean(&normalized_ipc(&runs, &ideal));
+            let program = budget.workloads()[0].build(16);
+            let kb = kind.build(&program, 16).storage_bits() as f64 / 8192.0;
+            t.row(vec![kind.label(), format!("{kb:.2}"), format!("{g:.4}")]);
+        }
+        format!("Fig. 13 — performance versus storage (IPC normalized to ideal)\n\n{t}")
+    }
+}
+
+/// Fig. 14: per-workload MPKI of the limited predictors.
+pub mod fig14 {
+    use super::*;
+
+    /// Runs the comparison.
+    pub fn run(budget: &Budget) -> String {
+        let cfg = CoreConfig::alder_lake();
+        let kinds = PredictorKind::headline();
+        let mut header = vec!["workload".to_string()];
+        for k in &kinds {
+            header.push(format!("{} FN/FP", k.label()));
+        }
+        let mut t = TextTable::new(header);
+        let all_runs: Vec<Vec<RunResult>> =
+            kinds.iter().map(|k| run_all(k, &cfg, budget)).collect();
+        for (wi, w) in budget.workloads().iter().enumerate() {
+            let mut row = vec![w.name.to_string()];
+            for runs in &all_runs {
+                let r = &runs[wi];
+                row.push(format!(
+                    "{:.3}/{:.3}",
+                    r.stats.violation_mpki(),
+                    r.stats.false_dep_mpki()
+                ));
+            }
+            t.row(row);
+        }
+        let mut summary = String::new();
+        for (k, runs) in kinds.iter().zip(&all_runs) {
+            let fnm = runs.iter().map(|r| r.stats.violation_mpki()).sum::<f64>() / runs.len() as f64;
+            let fpm = runs.iter().map(|r| r.stats.false_dep_mpki()).sum::<f64>() / runs.len() as f64;
+            summary.push_str(&format!(
+                "  {:<12} avg FN {:.3}  avg FP {:.3}  total {:.3}\n",
+                k.label(),
+                fnm,
+                fpm,
+                fnm + fpm
+            ));
+        }
+        format!("Fig. 14 — MPKI per workload (violations/false dependences)\n\n{t}\n{summary}")
+    }
+}
+
+/// Fig. 15: per-workload IPC normalized to ideal, plus headline speedups.
+pub mod fig15 {
+    use super::*;
+
+    /// Structured result for tests and benches.
+    pub struct Results {
+        /// Geomean normalized IPC per headline predictor, PHAST last.
+        pub geomeans: Vec<(String, f64)>,
+        /// PHAST speedup over each baseline: (name, mean %, max %).
+        pub speedups: Vec<(String, f64, f64)>,
+        /// Rendered report.
+        pub report: String,
+    }
+
+    /// Runs the headline comparison.
+    pub fn run(budget: &Budget) -> Results {
+        let cfg = CoreConfig::alder_lake();
+        let ideal = ideal_runs(&cfg, budget);
+        let kinds = PredictorKind::headline();
+        let all_runs: Vec<Vec<RunResult>> =
+            kinds.iter().map(|k| run_all(k, &cfg, budget)).collect();
+
+        let mut header = vec!["workload".to_string()];
+        header.extend(kinds.iter().map(|k| k.label()));
+        let mut t = TextTable::new(header);
+        for (wi, w) in budget.workloads().iter().enumerate() {
+            let mut row = vec![w.name.to_string()];
+            for runs in &all_runs {
+                row.push(format!("{:.4}", runs[wi].stats.ipc() / ideal[wi].stats.ipc()));
+            }
+            t.row(row);
+        }
+
+        let geomeans: Vec<(String, f64)> = kinds
+            .iter()
+            .zip(&all_runs)
+            .map(|(k, runs)| (k.label(), geomean(&normalized_ipc(runs, &ideal))))
+            .collect();
+
+        // PHAST speedups over each baseline (paper: 5.05% over Store Sets,
+        // 1.29% over NoSQ, 3.04% over MDP-TAGE, 2.10% over MDP-TAGE-S).
+        let phast_runs = all_runs.last().expect("phast last in headline");
+        let mut speedups = Vec::new();
+        for (k, runs) in kinds.iter().zip(&all_runs).take(kinds.len() - 1) {
+            let ratios: Vec<f64> = phast_runs
+                .iter()
+                .zip(runs)
+                .map(|(p, b)| p.stats.ipc() / b.stats.ipc())
+                .collect();
+            let mean = geomean(&ratios) - 1.0;
+            let max = ratios.iter().cloned().fold(f64::MIN, f64::max) - 1.0;
+            speedups.push((k.label(), 100.0 * mean, 100.0 * max));
+        }
+
+        let mut report =
+            format!("Fig. 15 — IPC normalized to the perfect MDP (higher is better)\n\n{t}\n");
+        for (name, g) in &geomeans {
+            report.push_str(&format!("  {:<12} geomean {:.4} (gap {:.2}%)\n", name, g, 100.0 * (1.0 - g)));
+        }
+        report.push_str("\nPHAST speedups:\n");
+        for (name, mean, max) in &speedups {
+            report.push_str(&format!("  vs {:<12} mean {:+.2}%  max {:+.2}%\n", name, mean, max));
+        }
+        Results { geomeans, speedups, report }
+    }
+}
+
+/// Fig. 16: predictor energy consumption, reads and writes.
+pub mod fig16 {
+    use super::*;
+    use phast_energy::{total_energy_nj, Structure};
+
+    fn structure_of(kind: &PredictorKind) -> Structure {
+        match kind {
+            PredictorKind::StoreSets => Structure::StoreSetsSsit,
+            PredictorKind::NoSq => Structure::NoSq,
+            PredictorKind::MdpTage => Structure::MdpTage,
+            PredictorKind::MdpTageS => Structure::MdpTageS,
+            _ => Structure::Phast,
+        }
+    }
+
+    /// Runs the energy study.
+    pub fn run(budget: &Budget) -> String {
+        let cfg = CoreConfig::alder_lake();
+        let mut t = TextTable::new(vec![
+            "predictor",
+            "table reads",
+            "table writes",
+            "read energy (nJ)",
+            "write energy (nJ)",
+            "total (nJ)",
+        ]);
+        for kind in PredictorKind::headline() {
+            let runs = run_all(&kind, &cfg, budget);
+            let reads: u64 = runs.iter().map(|r| r.stats.predictor_accesses.reads).sum();
+            let writes: u64 = runs.iter().map(|r| r.stats.predictor_accesses.writes).sum();
+            let e = structure_of(&kind).per_table_probe();
+            let (rn, wn) = total_energy_nj(reads, writes, e);
+            t.row(vec![
+                kind.label(),
+                reads.to_string(),
+                writes.to_string(),
+                format!("{rn:.1}"),
+                format!("{wn:.1}"),
+                format!("{:.1}", rn + wn),
+            ]);
+        }
+        format!("Fig. 16 — predictor energy over the whole run (Table II per-access energies)\n\n{t}")
+    }
+}
+
+/// Table I: the simulated system configuration.
+pub mod table1 {
+    use super::*;
+
+    /// Renders the Alder-Lake-like configuration.
+    pub fn run(_budget: &Budget) -> String {
+        let c = CoreConfig::alder_lake();
+        let mut t = TextTable::new(vec!["parameter", "value"]);
+        t.row(vec!["front-end width".to_string(), format!("{}-wide fetch and decode", c.fetch_width)]);
+        t.row(vec!["branch predictor".into(), "TAGE (8 components, 2..128b histories)".to_string()]);
+        t.row(vec!["back-end".to_string(), format!("{} execution ports, {}-wide commit", c.ports.total(), c.commit_width)]);
+        t.row(vec![
+            "ROB/IQ/LQ/SB".to_string(),
+            format!("{}/{}/{}/{} entries", c.rob_size, c.iq_size, c.lq_size, c.sq_size),
+        ]);
+        t.row(vec!["load/store ports".to_string(), format!("{}/{}", c.ports.load, c.ports.store)]);
+        let m = &c.memory;
+        t.row(vec!["L1I".to_string(), format!("{}KB {}-way, {}-cycle", m.l1i.size_bytes / 1024, m.l1i.ways, m.l1i.hit_latency)]);
+        t.row(vec!["L1D".to_string(), format!("{}KB {}-way, {}-cycle, {} MSHRs", m.l1d.size_bytes / 1024, m.l1d.ways, m.l1d.hit_latency, m.l1d.mshrs)]);
+        t.row(vec!["L1D prefetcher".into(), "IP-stride, degree 3".to_string()]);
+        t.row(vec!["L2".to_string(), format!("{}KB {}-way, {}-cycle", m.l2.size_bytes / 1024, m.l2.ways, m.l2.hit_latency)]);
+        t.row(vec!["L3".to_string(), format!("{}MB {}-way, {}-cycle", m.l3.size_bytes / (1024 * 1024), m.l3.ways, m.l3.hit_latency)]);
+        t.row(vec!["memory".to_string(), format!("{}-cycle access latency", m.dram_latency)]);
+        format!("Table I — system configuration (Alder-Lake-like)\n\n{t}")
+    }
+}
+
+/// Table II: predictor configurations, storage and access energy.
+pub mod table2 {
+    use super::*;
+    use phast_energy::Structure;
+
+    /// Renders the predictor configuration table.
+    pub fn run(budget: &Budget) -> String {
+        let program = budget.workloads()[0].build(16);
+        let mut t = TextTable::new(vec![
+            "predictor",
+            "tables",
+            "total entries",
+            "size (KB)",
+            "energy/access (pJ)",
+        ]);
+        let rows: [(PredictorKind, Structure, usize); 5] = [
+            (PredictorKind::StoreSets, Structure::StoreSetsSsit, 8 * 1024 + 4 * 1024),
+            (PredictorKind::NoSq, Structure::NoSq, 4 * 1024),
+            (PredictorKind::MdpTage, Structure::MdpTage, 16 * 1024),
+            (PredictorKind::MdpTageS, Structure::MdpTageS, 4 * 1024),
+            (PredictorKind::Phast, Structure::Phast, 4 * 1024),
+        ];
+        for (kind, s, entries) in rows {
+            let kb = kind.build(&program, 16).storage_bits() as f64 / 8192.0;
+            let pj = match kind {
+                PredictorKind::StoreSets => {
+                    Structure::StoreSetsSsit.paper_access_pj()
+                        + Structure::StoreSetsLfst.paper_access_pj()
+                }
+                _ => s.paper_access_pj(),
+            };
+            t.row(vec![
+                kind.label(),
+                s.tables().to_string(),
+                entries.to_string(),
+                format!("{kb:.3}"),
+                format!("{pj:.4}"),
+            ]);
+        }
+        format!("Table II — predictor configurations (sizes match the paper exactly)\n\n{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_budget() -> Budget {
+        Budget { insts: 4_000, workload_iters: 20_000, max_workloads: Some(2) }
+    }
+
+    #[test]
+    fn table1_and_table2_render() {
+        let b = tiny_budget();
+        let t1 = table1::run(&b);
+        assert!(t1.contains("512/204/192/114"));
+        let t2 = table2::run(&b);
+        assert!(t2.contains("14.500"), "PHAST size row: {t2}");
+        assert!(t2.contains("38.625"), "MDP-TAGE size row");
+    }
+
+    #[test]
+    fn fig4_runs_on_tiny_budget() {
+        let out = fig4::run(&tiny_budget());
+        assert!(out.contains("perlbench_1"));
+    }
+
+    #[test]
+    fn fig15_runs_on_tiny_budget() {
+        let r = fig15::run(&tiny_budget());
+        assert_eq!(r.geomeans.len(), 5);
+        assert_eq!(r.speedups.len(), 4);
+        assert!(r.report.contains("PHAST speedups"));
+    }
+}

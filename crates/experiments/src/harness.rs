@@ -1,0 +1,122 @@
+//! Shared simulation harness: budgets, per-run results, aggregation.
+
+use crate::predictors::PredictorKind;
+use phast_ooo::{simulate, CoreConfig, SimStats};
+use phast_workloads::Workload;
+
+/// How much work an experiment may do. The binary runs at
+/// [`Budget::full`]; the Criterion benches and tests use
+/// [`Budget::quick`].
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Instructions simulated per (workload, predictor) pair.
+    pub insts: u64,
+    /// Outer-loop iterations the workloads are built with.
+    pub workload_iters: u64,
+    /// Restrict to the first `n` workloads (None = all 23).
+    pub max_workloads: Option<usize>,
+}
+
+impl Budget {
+    /// The full budget used by `cargo run -p phast-experiments`.
+    pub fn full() -> Budget {
+        Budget { insts: 300_000, workload_iters: 1_000_000, max_workloads: None }
+    }
+
+    /// A reduced budget for benches and smoke tests.
+    pub fn quick() -> Budget {
+        Budget { insts: 40_000, workload_iters: 200_000, max_workloads: Some(6) }
+    }
+
+    /// The workloads this budget covers.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let mut all = phast_workloads::all_workloads();
+        if let Some(n) = self.max_workloads {
+            all.truncate(n);
+        }
+        all
+    }
+}
+
+/// Result of simulating one (workload, predictor, core config) triple.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+    /// Paths tracked by unlimited predictors (0 for table-based ones).
+    pub num_paths: u64,
+}
+
+/// Runs one workload under one predictor on the given core.
+pub fn run_one(
+    workload: &Workload,
+    kind: &PredictorKind,
+    cfg: &CoreConfig,
+    budget: &Budget,
+) -> RunResult {
+    let program = workload.build(budget.workload_iters);
+    let mut core_cfg = cfg.clone();
+    core_cfg.train_point = kind.train_point();
+    let mut predictor = kind.build(&program, budget.insts);
+    let stats = simulate(&program, &core_cfg, predictor.as_mut(), budget.insts);
+    RunResult {
+        workload: workload.name.to_string(),
+        predictor: kind.label(),
+        stats,
+        num_paths: predictor.num_paths(),
+    }
+}
+
+/// Runs every budgeted workload under one predictor; returns per-workload
+/// results in registry order.
+pub fn run_all(kind: &PredictorKind, cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
+    budget.workloads().iter().map(|w| run_one(w, kind, cfg, budget)).collect()
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Normalized IPC of `runs` against matching `ideal` runs (same order).
+pub fn normalized_ipc(runs: &[RunResult], ideal: &[RunResult]) -> Vec<f64> {
+    runs.iter()
+        .zip(ideal)
+        .map(|(r, i)| {
+            debug_assert_eq!(r.workload, i.workload);
+            r.stats.ipc() / i.stats.ipc()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_cover_workloads() {
+        assert_eq!(Budget::full().workloads().len(), 23);
+        assert_eq!(Budget::quick().workloads().len(), 6);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_one_produces_stats() {
+        let w = phast_workloads::by_name("exchange2").unwrap();
+        let budget = Budget { insts: 5_000, workload_iters: 50_000, max_workloads: None };
+        let r = run_one(&w, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
+        assert_eq!(r.workload, "exchange2");
+        assert!(r.stats.committed >= 5_000);
+        assert!(r.stats.ipc() > 0.0);
+    }
+}

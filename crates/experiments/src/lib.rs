@@ -1,0 +1,24 @@
+//! Experiment harness reproducing every table and figure of the PHAST
+//! paper's evaluation (see DESIGN.md §4 for the full index).
+//!
+//! Each `figN` module exposes a `run(&Budget)` function returning a
+//! structured, `Display`able result; the `phast-experiments` binary maps
+//! experiment ids to these functions, and the Criterion benches in
+//! `phast-bench` call them at reduced budgets.
+//!
+//! Absolute numbers differ from the paper (our substrate is a synthetic
+//! workload suite on a from-scratch simulator, not SPEC on the authors'
+//! testbed); the *shape* — who wins, roughly by how much, where the
+//! crossovers are — is the reproduction target. EXPERIMENTS.md records
+//! paper-versus-measured for every artifact.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;
+pub mod predictors;
+pub mod tablefmt;
+
+pub use harness::{geomean, Budget, RunResult};
+pub use predictors::PredictorKind;

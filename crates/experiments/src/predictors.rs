@@ -1,0 +1,202 @@
+//! Factory for every memory dependence predictor the experiments use.
+
+use phast::{Phast, PhastConfig, UnlimitedPhast};
+use phast_baselines::{
+    Cht, ChtConfig, MdpTage, MdpTageConfig, NoSqConfig, NoSqPredictor, StoreSets, StoreSetsConfig,
+    StoreVector, StoreVectorConfig, UnlimitedMdpTage, UnlimitedNoSq,
+};
+use phast_isa::Program;
+use phast_mdp::{BlindSpeculation, DepOracle, MemDepPredictor, OraclePredictor, TotalOrder};
+use phast_ooo::TrainPoint;
+use std::rc::Rc;
+
+/// Identifies a predictor configuration used by the experiments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Perfect oracle (upper bound for every figure).
+    Ideal,
+    /// No prediction at all: every load speculates.
+    Blind,
+    /// Every load waits for all older stores.
+    TotalOrder,
+    /// PHAST at the paper's 14.5 KB configuration.
+    Phast,
+    /// PHAST scaled to `sets` sets per table (Fig. 13 sweep).
+    PhastSets(usize),
+    /// UnlimitedPHAST, optionally capped at a maximum history length.
+    UnlimitedPhast(Option<u32>),
+    /// NoSQ at the paper's 19 KB configuration.
+    NoSq,
+    /// NoSQ scaled to `sets` sets per table.
+    NoSqSets(usize),
+    /// UnlimitedNoSQ at a fixed history length (Fig. 6 x-axis).
+    UnlimitedNoSq(u32),
+    /// Store Sets at the paper's 18.5 KB configuration.
+    StoreSets,
+    /// Store Sets with explicit SSIT/LFST entry counts.
+    StoreSetsSized(usize, usize),
+    /// Store Vectors.
+    StoreVector,
+    /// CHT collision predictor.
+    Cht,
+    /// MDP-TAGE at the paper's 38.625 KB configuration.
+    MdpTage,
+    /// MDP-TAGE with all component set counts scaled by `num/den`.
+    MdpTageScaled(usize, usize),
+    /// MDP-TAGE-S (PHAST table layout, 13 KB).
+    MdpTageS,
+    /// UnlimitedMDPTAGE.
+    UnlimitedMdpTage,
+}
+
+impl PredictorKind {
+    /// Short display name used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            PredictorKind::Ideal => "ideal".into(),
+            PredictorKind::Blind => "blind".into(),
+            PredictorKind::TotalOrder => "total-order".into(),
+            PredictorKind::Phast => "phast".into(),
+            PredictorKind::PhastSets(s) => format!("phast-{s}s"),
+            PredictorKind::UnlimitedPhast(None) => "unl-phast".into(),
+            PredictorKind::UnlimitedPhast(Some(m)) => format!("unl-phast-{m}"),
+            PredictorKind::NoSq => "nosq".into(),
+            PredictorKind::NoSqSets(s) => format!("nosq-{s}s"),
+            PredictorKind::UnlimitedNoSq(h) => format!("unl-nosq-{h}"),
+            PredictorKind::StoreSets => "store-sets".into(),
+            PredictorKind::StoreSetsSized(a, b) => format!("store-sets-{a}-{b}"),
+            PredictorKind::StoreVector => "store-vector".into(),
+            PredictorKind::Cht => "cht".into(),
+            PredictorKind::MdpTage => "mdp-tage".into(),
+            PredictorKind::MdpTageScaled(n, d) => format!("mdp-tage-{n}of{d}"),
+            PredictorKind::MdpTageS => "mdp-tage-s".into(),
+            PredictorKind::UnlimitedMdpTage => "unl-mdp-tage".into(),
+        }
+    }
+
+    /// The five limited predictors of the headline comparison
+    /// (Figs. 13–16), in the paper's order.
+    pub fn headline() -> Vec<PredictorKind> {
+        vec![
+            PredictorKind::StoreSets,
+            PredictorKind::NoSq,
+            PredictorKind::MdpTage,
+            PredictorKind::MdpTageS,
+            PredictorKind::Phast,
+        ]
+    }
+
+    /// When the out-of-order core should train this predictor: PHAST
+    /// variants at commit, everything else at detection (§IV-A1 and §V).
+    pub fn train_point(&self) -> TrainPoint {
+        match self {
+            PredictorKind::Phast
+            | PredictorKind::PhastSets(_)
+            | PredictorKind::UnlimitedPhast(_) => TrainPoint::Commit,
+            _ => TrainPoint::Detect,
+        }
+    }
+
+    /// Builds the predictor. The oracle needs the program (and budget) to
+    /// precompute perfect dependences.
+    pub fn build(&self, program: &Program, max_insts: u64) -> Box<dyn MemDepPredictor> {
+        match self {
+            PredictorKind::Ideal => {
+                // The pipeline commits up to a commit-group beyond the
+                // budget and fetches further still, so the oracle covers a
+                // comfortable margin past `max_insts`.
+                let oracle = DepOracle::build(program, max_insts + 50_000, 512)
+                    .expect("workloads emulate cleanly");
+                Box::new(OraclePredictor::new(Rc::new(oracle)))
+            }
+            PredictorKind::Blind => Box::new(BlindSpeculation),
+            PredictorKind::TotalOrder => Box::new(TotalOrder),
+            PredictorKind::Phast => Box::new(Phast::new(PhastConfig::paper())),
+            PredictorKind::PhastSets(s) => Box::new(Phast::new(PhastConfig::with_sets(*s))),
+            PredictorKind::UnlimitedPhast(max) => Box::new(UnlimitedPhast::with_max_length(*max)),
+            PredictorKind::NoSq => Box::new(NoSqPredictor::new(NoSqConfig::paper())),
+            PredictorKind::NoSqSets(s) => Box::new(NoSqPredictor::new(NoSqConfig::with_sets(*s))),
+            PredictorKind::UnlimitedNoSq(h) => Box::new(UnlimitedNoSq::new(*h)),
+            PredictorKind::StoreSets => Box::new(StoreSets::new(StoreSetsConfig::paper())),
+            PredictorKind::StoreSetsSized(ssit, lfst) => {
+                Box::new(StoreSets::new(StoreSetsConfig::with_entries(*ssit, *lfst)))
+            }
+            PredictorKind::StoreVector => Box::new(StoreVector::new(StoreVectorConfig::paper())),
+            PredictorKind::Cht => Box::new(Cht::new(ChtConfig::paper())),
+            PredictorKind::MdpTage => Box::new(MdpTage::new(MdpTageConfig::paper())),
+            PredictorKind::MdpTageScaled(n, d) => {
+                Box::new(MdpTage::new(MdpTageConfig::paper_scaled(*n, *d)))
+            }
+            PredictorKind::MdpTageS => Box::new(MdpTage::new(MdpTageConfig::short())),
+            PredictorKind::UnlimitedMdpTage => Box::new(UnlimitedMdpTage::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_isa::{ProgramBuilder, Reg};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.at(e).li(Reg(1), 1).halt();
+        b.set_entry(e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_kind_builds() {
+        let p = tiny_program();
+        let kinds = vec![
+            PredictorKind::Ideal,
+            PredictorKind::Blind,
+            PredictorKind::TotalOrder,
+            PredictorKind::Phast,
+            PredictorKind::PhastSets(64),
+            PredictorKind::UnlimitedPhast(None),
+            PredictorKind::UnlimitedPhast(Some(16)),
+            PredictorKind::NoSq,
+            PredictorKind::NoSqSets(256),
+            PredictorKind::UnlimitedNoSq(8),
+            PredictorKind::StoreSets,
+            PredictorKind::StoreSetsSized(4096, 2048),
+            PredictorKind::StoreVector,
+            PredictorKind::Cht,
+            PredictorKind::MdpTage,
+            PredictorKind::MdpTageScaled(1, 2),
+            PredictorKind::MdpTageS,
+            PredictorKind::UnlimitedMdpTage,
+        ];
+        for k in kinds {
+            let pred = k.build(&p, 100);
+            assert!(!pred.name().is_empty(), "{:?}", k);
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn phast_trains_at_commit_baselines_at_detect() {
+        assert_eq!(PredictorKind::Phast.train_point(), TrainPoint::Commit);
+        assert_eq!(PredictorKind::UnlimitedPhast(None).train_point(), TrainPoint::Commit);
+        assert_eq!(PredictorKind::NoSq.train_point(), TrainPoint::Detect);
+        assert_eq!(PredictorKind::StoreSets.train_point(), TrainPoint::Detect);
+    }
+
+    #[test]
+    fn headline_has_five_predictors() {
+        assert_eq!(PredictorKind::headline().len(), 5);
+    }
+
+    #[test]
+    fn paper_storage_budgets_match_table_2() {
+        let p = tiny_program();
+        let kb = |k: &PredictorKind| k.build(&p, 10).storage_bits() as f64 / 8192.0;
+        assert_eq!(kb(&PredictorKind::StoreSets), 18.5);
+        assert_eq!(kb(&PredictorKind::NoSq), 19.0);
+        assert_eq!(kb(&PredictorKind::MdpTage), 38.625);
+        assert_eq!(kb(&PredictorKind::MdpTageS), 13.0);
+        assert_eq!(kb(&PredictorKind::Phast), 14.5);
+    }
+}

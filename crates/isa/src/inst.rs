@@ -1,0 +1,362 @@
+//! Instruction definitions for the mini-ISA.
+
+use crate::program::BlockId;
+use std::fmt;
+
+/// An architectural register identifier.
+///
+/// Register 0 is hardwired to zero: reads return 0 and writes are rejected
+/// by the [`ProgramBuilder`](crate::ProgramBuilder).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Returns true if this is the hardwired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the register index as a usize, for register-file indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Binary ALU operations, all single-cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by `rhs & 63`).
+    Shl,
+    /// Logical shift right (by `rhs & 63`).
+    Shr,
+    /// Set to 1 if `lhs < rhs` (unsigned), else 0.
+    SltU,
+}
+
+impl AluKind {
+    /// Applies the operation to two operand values.
+    #[inline]
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            AluKind::Add => lhs.wrapping_add(rhs),
+            AluKind::Sub => lhs.wrapping_sub(rhs),
+            AluKind::And => lhs & rhs,
+            AluKind::Or => lhs | rhs,
+            AluKind::Xor => lhs ^ rhs,
+            AluKind::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            AluKind::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+            AluKind::SltU => u64::from(lhs < rhs),
+        }
+    }
+}
+
+/// Conditional-branch comparison kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CondKind {
+    /// Taken if `lhs == rhs`.
+    Eq,
+    /// Taken if `lhs != rhs`.
+    Ne,
+    /// Taken if `lhs < rhs` (unsigned).
+    LtU,
+    /// Taken if `lhs >= rhs` (unsigned).
+    GeU,
+    /// Taken if `lhs < rhs` (signed).
+    Lt,
+    /// Taken if `lhs >= rhs` (signed).
+    Ge,
+}
+
+impl CondKind {
+    /// Evaluates the condition on two operand values.
+    #[inline]
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CondKind::Eq => lhs == rhs,
+            CondKind::Ne => lhs != rhs,
+            CondKind::LtU => lhs < rhs,
+            CondKind::GeU => lhs >= rhs,
+            CondKind::Lt => (lhs as i64) < (rhs as i64),
+            CondKind::Ge => (lhs as i64) >= (rhs as i64),
+        }
+    }
+}
+
+/// Memory access sizes in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemSize {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemSize {
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+
+    /// Truncates a value to this size.
+    #[inline]
+    pub fn truncate(self, value: u64) -> u64 {
+        match self {
+            MemSize::B1 => value & 0xff,
+            MemSize::B2 => value & 0xffff,
+            MemSize::B4 => value & 0xffff_ffff,
+            MemSize::B8 => value,
+        }
+    }
+}
+
+/// Operation performed by an [`Inst`].
+///
+/// Control-transfer operations may appear only as the last instruction of a
+/// basic block; the builder enforces this. Conditional branches fall through
+/// to the block's `fallthrough` successor when not taken, and `Call` returns
+/// (via [`Op::Ret`]) to the block's `fallthrough` successor.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `dst = src1 <kind> (src2 | imm)`; `src2` is used when present.
+    Alu(AluKind),
+    /// `dst = imm`.
+    LoadImm,
+    /// `dst = src1 * src2` (wrapping); 3-cycle latency class.
+    Mul,
+    /// `dst = src1 / max(src2,1)`; 12-cycle latency class.
+    Div,
+    /// Placeholder floating-point-latency operation: `dst = src1 ^ src2`
+    /// rotated; 4-cycle latency class. Exists purely for scheduler pressure.
+    Fp,
+    /// `dst = mem[src1 + imm]`, zero-extended from `size` bytes.
+    Load(MemSize),
+    /// `mem[src1 + imm] = src2`, truncated to `size` bytes.
+    Store(MemSize),
+    /// Conditional branch: taken when `<kind>(src1, src2|imm)`; target is
+    /// `taken`; not-taken falls through to the block successor. Divergent.
+    CondBranch {
+        /// Comparison deciding the branch.
+        kind: CondKind,
+        /// Block executed when the branch is taken.
+        taken: BlockId,
+    },
+    /// Unconditional direct jump. Not divergent.
+    Jump(BlockId),
+    /// Indirect jump: target is `targets[src1 % targets.len()]`. Divergent.
+    IndirectJump(Box<[BlockId]>),
+    /// Direct call: jumps to `target`, writing the fallthrough block id of
+    /// the current block into `dst` (conventionally the link register).
+    /// Not divergent (the target is static).
+    Call(BlockId),
+    /// Indirect return: jumps to the block whose id is in `src1`
+    /// (conventionally the link register). Divergent.
+    Ret,
+    /// Stops execution.
+    Halt,
+}
+
+impl Op {
+    /// Returns true for control-transfer operations (must terminate a block).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Op::CondBranch { .. }
+                | Op::Jump(_)
+                | Op::IndirectJump(_)
+                | Op::Call(_)
+                | Op::Ret
+                | Op::Halt
+        )
+    }
+
+    /// Returns true for *divergent* branches in the paper's sense:
+    /// conditional or indirect control transfers, i.e. those that can take
+    /// different paths on different executions (§III-B).
+    pub fn is_divergent(&self) -> bool {
+        matches!(self, Op::CondBranch { .. } | Op::IndirectJump(_) | Op::Ret)
+    }
+
+    /// Returns true for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Op::Load(_))
+    }
+
+    /// Returns true for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Op::Store(_))
+    }
+}
+
+/// Execution-resource class of an instruction, with its latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Single-cycle integer ALU (also direct jumps and immediate moves).
+    IntAlu,
+    /// 3-cycle integer multiply.
+    IntMul,
+    /// 12-cycle integer divide (unpipelined in the scheduler model).
+    IntDiv,
+    /// 4-cycle floating-point-class operation.
+    Fp,
+    /// Load port; latency comes from the memory hierarchy.
+    Load,
+    /// Store port (address + data); latency 1 to resolve.
+    Store,
+    /// Branch unit (conditional, indirect, call, ret).
+    Branch,
+}
+
+impl ExecClass {
+    /// Fixed execution latency in cycles; loads return the address-generation
+    /// latency only (cache latency is added by the memory model).
+    pub fn latency(self) -> u32 {
+        match self {
+            ExecClass::IntAlu => 1,
+            ExecClass::IntMul => 3,
+            ExecClass::IntDiv => 12,
+            ExecClass::Fp => 4,
+            ExecClass::Load => 1,
+            ExecClass::Store => 1,
+            ExecClass::Branch => 1,
+        }
+    }
+}
+
+/// A single static instruction.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Destination register, when the operation produces a value.
+    pub dst: Option<Reg>,
+    /// First source register (address base for memory ops).
+    pub src1: Option<Reg>,
+    /// Second source register (store data; ALU right-hand side).
+    pub src2: Option<Reg>,
+    /// Immediate operand (ALU rhs when `src2` is absent; address offset).
+    pub imm: i64,
+}
+
+impl Inst {
+    /// The execution-resource class of this instruction.
+    pub fn class(&self) -> ExecClass {
+        match self.op {
+            Op::Alu(_) | Op::LoadImm => ExecClass::IntAlu,
+            Op::Mul => ExecClass::IntMul,
+            Op::Div => ExecClass::IntDiv,
+            Op::Fp => ExecClass::Fp,
+            Op::Load(_) => ExecClass::Load,
+            Op::Store(_) => ExecClass::Store,
+            Op::CondBranch { .. } | Op::Jump(_) | Op::IndirectJump(_) | Op::Call(_) | Op::Ret => {
+                ExecClass::Branch
+            }
+            Op::Halt => ExecClass::IntAlu,
+        }
+    }
+
+    /// Iterates over the source registers actually read by this instruction.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_kinds_apply() {
+        assert_eq!(AluKind::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluKind::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluKind::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluKind::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluKind::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluKind::Shl.apply(1, 65), 2, "shift amount is masked");
+        assert_eq!(AluKind::Shr.apply(8, 3), 1);
+        assert_eq!(AluKind::SltU.apply(1, 2), 1);
+        assert_eq!(AluKind::SltU.apply(2, 2), 0);
+    }
+
+    #[test]
+    fn cond_kinds_eval() {
+        assert!(CondKind::Eq.eval(3, 3));
+        assert!(!CondKind::Eq.eval(3, 4));
+        assert!(CondKind::Ne.eval(3, 4));
+        assert!(CondKind::LtU.eval(1, u64::MAX));
+        assert!(!CondKind::Lt.eval(1, u64::MAX), "signed: MAX is -1");
+        assert!(CondKind::Ge.eval(1, u64::MAX));
+        assert!(CondKind::GeU.eval(u64::MAX, 1));
+    }
+
+    #[test]
+    fn mem_size_truncate() {
+        assert_eq!(MemSize::B1.truncate(0x1234), 0x34);
+        assert_eq!(MemSize::B2.truncate(0xabcd_ef01), 0xef01);
+        assert_eq!(MemSize::B4.truncate(u64::MAX), 0xffff_ffff);
+        assert_eq!(MemSize::B8.truncate(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn divergence_classification() {
+        assert!(Op::CondBranch { kind: CondKind::Eq, taken: BlockId(0) }.is_divergent());
+        assert!(Op::IndirectJump(Box::new([BlockId(0)])).is_divergent());
+        assert!(Op::Ret.is_divergent());
+        assert!(!Op::Jump(BlockId(0)).is_divergent());
+        assert!(!Op::Call(BlockId(0)).is_divergent(), "direct calls are not divergent");
+        assert!(!Op::Halt.is_divergent());
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Op::Halt.is_control());
+        assert!(Op::Call(BlockId(1)).is_control());
+        assert!(!Op::Load(MemSize::B8).is_control());
+        assert!(Op::Load(MemSize::B4).is_load());
+        assert!(Op::Store(MemSize::B1).is_store());
+    }
+
+    #[test]
+    fn exec_class_latencies() {
+        assert_eq!(ExecClass::IntAlu.latency(), 1);
+        assert_eq!(ExecClass::IntMul.latency(), 3);
+        assert_eq!(ExecClass::IntDiv.latency(), 12);
+        assert_eq!(ExecClass::Fp.latency(), 4);
+    }
+}

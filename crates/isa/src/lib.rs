@@ -1,0 +1,43 @@
+//! Mini-ISA and program model for the PHAST reproduction.
+//!
+//! The paper evaluates memory dependence prediction (MDP) on SPEC CPU 2017
+//! traces fed into a cycle-accurate x86 simulator. This crate provides the
+//! substitute substrate: a small register-machine ISA with explicit
+//! basic-block control flow, rich enough to exercise every mechanism MDP
+//! cares about:
+//!
+//! * loads and stores of 1/2/4/8 bytes (sub-word stores create the
+//!   multi-store dependences of the paper's Fig. 4),
+//! * conditional branches and indirect jumps (the *divergent branches* that
+//!   form PHAST's path history),
+//! * direct calls and returns through a link register, enabling the classic
+//!   register save/restore store→load dependences,
+//! * ALU/multiply/divide/FP latency classes so the out-of-order scheduler
+//!   has realistic pressure.
+//!
+//! Programs are built with [`ProgramBuilder`], which validates control flow
+//! at build time. [`Emulator`] is a functional reference implementation used
+//! both to drive analyses and as a correctness oracle for the cycle-level
+//! core in `phast-ooo`: the committed instruction stream of the out-of-order
+//! core must match the emulator's stream exactly.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod emu;
+mod inst;
+mod program;
+
+pub use builder::{BlockHandle, BuildError, ProgramBuilder};
+pub use emu::{compute_value, ranges_overlap, EmuError, Emulator, ExecRecord, SparseMemory};
+pub use inst::{AluKind, CondKind, ExecClass, Inst, MemSize, Op, Reg};
+pub use program::{BasicBlock, BlockId, Pc, Program};
+
+/// Number of architectural integer registers. Register 0 is hardwired to 0.
+pub const NUM_REGS: usize = 32;
+
+/// Conventional link register written by [`Op::Call`] and read by [`Op::Ret`].
+pub const LINK_REG: Reg = Reg(31);
+
+/// Conventional stack pointer used by workloads for save/restore sequences.
+pub const STACK_REG: Reg = Reg(30);

@@ -1,0 +1,72 @@
+//! Property-based tests for the ISA substrate.
+
+use phast_isa::{ranges_overlap, MemSize, SparseMemory};
+use proptest::prelude::*;
+
+fn size_strategy() -> impl Strategy<Value = MemSize> {
+    prop_oneof![
+        Just(MemSize::B1),
+        Just(MemSize::B2),
+        Just(MemSize::B4),
+        Just(MemSize::B8)
+    ]
+}
+
+proptest! {
+    /// A write followed by a read of the same location returns the
+    /// truncated value, regardless of address alignment or size.
+    #[test]
+    fn memory_write_read_roundtrip(addr in 0u64..1_000_000, value: u64, size in size_strategy()) {
+        let mut m = SparseMemory::new();
+        m.write(addr, size, value);
+        prop_assert_eq!(m.read(addr, size), size.truncate(value));
+    }
+
+    /// Writes to disjoint ranges never interfere.
+    #[test]
+    fn disjoint_writes_do_not_interfere(
+        a in 0u64..100_000,
+        b in 0u64..100_000,
+        va: u64,
+        vb: u64,
+        sa in size_strategy(),
+        sb in size_strategy(),
+    ) {
+        prop_assume!(!ranges_overlap(a, sa.bytes(), b, sb.bytes()));
+        let mut m = SparseMemory::new();
+        m.write(a, sa, va);
+        m.write(b, sb, vb);
+        prop_assert_eq!(m.read(a, sa), sa.truncate(va));
+        prop_assert_eq!(m.read(b, sb), sb.truncate(vb));
+    }
+
+    /// Byte-wise writes compose into the same value as a single write.
+    #[test]
+    fn bytewise_composition(addr in 0u64..100_000, value: u64) {
+        let mut whole = SparseMemory::new();
+        whole.write(addr, MemSize::B8, value);
+        let mut parts = SparseMemory::new();
+        for i in 0..8 {
+            parts.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+        prop_assert_eq!(whole.read(addr, MemSize::B8), parts.read(addr, MemSize::B8));
+    }
+
+    /// Overlap is symmetric and consistent with interval arithmetic.
+    #[test]
+    fn overlap_is_symmetric(a in 0u64..10_000, asz in 1u64..16, b in 0u64..10_000, bsz in 1u64..16) {
+        let fwd = ranges_overlap(a, asz, b, bsz);
+        let rev = ranges_overlap(b, bsz, a, asz);
+        prop_assert_eq!(fwd, rev);
+        let reference = a < b + bsz && b < a + asz;
+        prop_assert_eq!(fwd, reference);
+    }
+
+    /// A range always overlaps itself; adjacent ranges never do.
+    #[test]
+    fn overlap_identity_and_adjacency(a in 0u64..10_000, sz in 1u64..16) {
+        prop_assert!(ranges_overlap(a, sz, a, sz));
+        prop_assert!(!ranges_overlap(a, sz, a + sz, 1));
+        prop_assert!(!ranges_overlap(a + sz, 1, a, sz));
+    }
+}

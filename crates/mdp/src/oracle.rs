@@ -1,0 +1,326 @@
+//! The ideal (oracle) memory dependence predictor.
+//!
+//! Built by pre-running the functional emulator over the same instruction
+//! budget the timing simulation will execute. For every dynamic load the
+//! oracle knows the *youngest* truly conflicting older store (§III-A: that
+//! single store is all a predictor needs) and its store distance. The
+//! timing core tags in-flight instructions with their architectural
+//! sequence number, so the oracle answers exactly on the correct path; on
+//! the wrong path its answers are meaningless, as they would be for any
+//! predictor, and get squashed with the path.
+//!
+//! The build pass also measures the paper's Fig. 4 statistics: how many
+//! loads take bytes from more than one older store, and how many of those
+//! multi-store groups share a base register (the paper's proxy for
+//! "execute in order").
+
+use crate::types::{AccessStats, DepPrediction, LoadQuery, PredictionOutcome, Violation};
+use crate::MemDepPredictor;
+use phast_isa::{ranges_overlap, EmuError, Emulator, Op, Program, Reg};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Fig. 4 statistics gathered while building the oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MultiStoreStats {
+    /// Total dynamic loads examined.
+    pub loads: u64,
+    /// Loads whose bytes are provided by one older in-window store.
+    pub single_store_loads: u64,
+    /// Loads whose bytes are provided by two or more older stores.
+    pub multi_store_loads: u64,
+    /// Multi-store loads whose providing stores all use the same base
+    /// register (the paper's in-order proxy, ~70% on SPEC).
+    pub multi_store_same_base: u64,
+}
+
+impl MultiStoreStats {
+    /// Percentage of loads depending on multiple stores.
+    pub fn multi_pct(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            100.0 * self.multi_store_loads as f64 / self.loads as f64
+        }
+    }
+
+    /// Percentage of multi-store loads whose stores share a base register.
+    pub fn same_base_pct(&self) -> f64 {
+        if self.multi_store_loads == 0 {
+            0.0
+        } else {
+            100.0 * self.multi_store_same_base as f64 / self.multi_store_loads as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct StoreRec {
+    seq: u64,
+    addr: u64,
+    size: u64,
+    base: Option<Reg>,
+}
+
+/// Precomputed perfect dependence information for one program execution.
+#[derive(Clone, Debug)]
+pub struct DepOracle {
+    /// load arch-seq → (store distance, store arch-seq) of the youngest
+    /// conflicting older store within the tracking window.
+    deps: HashMap<u64, (u32, u64)>,
+    stats: MultiStoreStats,
+}
+
+impl DepOracle {
+    /// Builds the oracle by running the emulator for up to `max_insts`
+    /// instructions, tracking the youngest `window` stores (set this at
+    /// least as large as the store buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator errors (e.g. a corrupt return target).
+    pub fn build(program: &Program, max_insts: u64, window: usize) -> Result<DepOracle, EmuError> {
+        let mut emu = Emulator::new(program);
+        let mut recent: VecDeque<StoreRec> = VecDeque::with_capacity(window);
+        let mut deps = HashMap::new();
+        let mut stats = MultiStoreStats::default();
+
+        while emu.retired() < max_insts {
+            let Some((block, index)) = emu.cursor() else { break };
+            let inst = program.inst(block, index).clone();
+            let Some(rec) = emu.step()? else { break };
+            match inst.op {
+                Op::Store(size) => {
+                    if recent.len() == window {
+                        recent.pop_front();
+                    }
+                    recent.push_back(StoreRec {
+                        seq: rec.seq,
+                        addr: rec.eff_addr.expect("store has address"),
+                        size: size.bytes(),
+                        base: inst.src1,
+                    });
+                }
+                Op::Load(size) => {
+                    stats.loads += 1;
+                    let addr = rec.eff_addr.expect("load has address");
+                    let bytes = size.bytes();
+                    // Youngest conflicting store: first overlap scanning
+                    // from the youngest end.
+                    let mut youngest: Option<(u32, u64)> = None;
+                    for (dist, st) in recent.iter().rev().enumerate() {
+                        if ranges_overlap(addr, bytes, st.addr, st.size) {
+                            youngest = Some((dist as u32, st.seq));
+                            break;
+                        }
+                    }
+                    if let Some(found) = youngest {
+                        deps.insert(rec.seq, found);
+                    }
+                    // Byte-provider analysis for Fig. 4.
+                    let mut providers: Vec<&StoreRec> = Vec::new();
+                    for b in 0..bytes {
+                        let byte_addr = addr.wrapping_add(b);
+                        if let Some(st) = recent
+                            .iter()
+                            .rev()
+                            .find(|st| ranges_overlap(byte_addr, 1, st.addr, st.size))
+                        {
+                            if !providers.iter().any(|p| p.seq == st.seq) {
+                                providers.push(st);
+                            }
+                        }
+                    }
+                    match providers.len() {
+                        0 => {}
+                        1 => stats.single_store_loads += 1,
+                        _ => {
+                            stats.multi_store_loads += 1;
+                            let base0 = providers[0].base;
+                            if providers.iter().all(|p| p.base == base0 && base0.is_some()) {
+                                stats.multi_store_same_base += 1;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(DepOracle { deps, stats })
+    }
+
+    /// The dependence of the dynamic load with architectural sequence
+    /// number `load_seq`: `(store distance, store seq)`.
+    pub fn lookup(&self, load_seq: u64) -> Option<(u32, u64)> {
+        self.deps.get(&load_seq).copied()
+    }
+
+    /// Number of loads with at least one in-window dependence.
+    pub fn dependent_loads(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Fig. 4 statistics.
+    pub fn multi_store_stats(&self) -> MultiStoreStats {
+        self.stats
+    }
+}
+
+/// The ideal predictor: answers every load query from a [`DepOracle`].
+///
+/// A dependence is reported only when the conflicting store is still among
+/// the load's older in-flight stores; otherwise the data is already in the
+/// cache (or forwardable) and no stall is needed.
+#[derive(Clone)]
+pub struct OraclePredictor {
+    oracle: Rc<DepOracle>,
+}
+
+impl OraclePredictor {
+    /// Creates an ideal predictor over a prebuilt oracle.
+    pub fn new(oracle: Rc<DepOracle>) -> OraclePredictor {
+        OraclePredictor { oracle }
+    }
+}
+
+impl MemDepPredictor for OraclePredictor {
+    fn name(&self) -> String {
+        "ideal".into()
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        match self.oracle.lookup(q.arch_seq) {
+            Some((dist, _)) if dist < q.older_stores => {
+                PredictionOutcome { dep: DepPrediction::Distance(dist), hint: 0 }
+            }
+            _ => PredictionOutcome::none(),
+        }
+    }
+
+    fn train_violation(&mut self, _v: &Violation<'_>) {}
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        AccessStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_isa::{MemSize, ProgramBuilder};
+
+    /// store [r1], r2 ; load r3, [r1]  — distance 0 dependence.
+    fn dep_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.at(e)
+            .li(Reg(1), 0x1000)
+            .li(Reg(2), 42)
+            .store(Reg(1), 0, Reg(2), MemSize::B8)
+            .load(Reg(3), Reg(1), 0, MemSize::B8)
+            .halt();
+        b.set_entry(e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_distance_zero_dependence() {
+        let p = dep_program();
+        let o = DepOracle::build(&p, 100, 128).unwrap();
+        assert_eq!(o.dependent_loads(), 1);
+        // The load is dynamic instruction 3.
+        assert_eq!(o.lookup(3), Some((0, 2)));
+    }
+
+    #[test]
+    fn distance_counts_intervening_stores() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.at(e)
+            .li(Reg(1), 0x1000)
+            .li(Reg(2), 1)
+            .store(Reg(1), 0, Reg(2), MemSize::B8) // conflicting (seq 2)
+            .store(Reg(1), 64, Reg(2), MemSize::B8) // unrelated
+            .store(Reg(1), 128, Reg(2), MemSize::B8) // unrelated
+            .load(Reg(3), Reg(1), 0, MemSize::B8) // seq 5
+            .halt();
+        b.set_entry(e);
+        let p = b.build().unwrap();
+        let o = DepOracle::build(&p, 100, 128).unwrap();
+        assert_eq!(o.lookup(5), Some((2, 2)), "two younger stores in between");
+    }
+
+    #[test]
+    fn youngest_store_wins() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.at(e)
+            .li(Reg(1), 0x1000)
+            .li(Reg(2), 1)
+            .store(Reg(1), 0, Reg(2), MemSize::B8) // older store, same addr
+            .store(Reg(1), 0, Reg(2), MemSize::B8) // youngest conflicting
+            .load(Reg(3), Reg(1), 0, MemSize::B8)
+            .halt();
+        b.set_entry(e);
+        let p = b.build().unwrap();
+        let o = DepOracle::build(&p, 100, 128).unwrap();
+        assert_eq!(o.lookup(4), Some((0, 3)), "§III-A: only the youngest matters");
+    }
+
+    #[test]
+    fn multi_store_detection() {
+        // Two 4-byte stores composing an 8-byte load (the 525.x264 pattern).
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.at(e)
+            .li(Reg(1), 0x1000)
+            .li(Reg(2), 7)
+            .store(Reg(1), 0, Reg(2), MemSize::B4)
+            .store(Reg(1), 4, Reg(2), MemSize::B4)
+            .load(Reg(3), Reg(1), 0, MemSize::B8)
+            .halt();
+        b.set_entry(e);
+        let p = b.build().unwrap();
+        let o = DepOracle::build(&p, 100, 128).unwrap();
+        let s = o.multi_store_stats();
+        assert_eq!(s.multi_store_loads, 1);
+        assert_eq!(s.multi_store_same_base, 1, "both stores use r1 as base");
+        assert!(s.multi_pct() > 0.0);
+    }
+
+    #[test]
+    fn oracle_predictor_respects_flight_window() {
+        let p = dep_program();
+        let o = Rc::new(DepOracle::build(&p, 100, 128).unwrap());
+        let mut pred = OraclePredictor::new(o);
+        let h = phast_branch::DivergentHistory::new();
+        let q = LoadQuery { pc: 0, token: 0, history: &h, arch_seq: 3, older_stores: 1 };
+        assert_eq!(pred.predict_load(&q).dep, DepPrediction::Distance(0));
+        // If the store already left the SQ, no dependence is reported.
+        let q2 = LoadQuery { pc: 0, token: 0, history: &h, arch_seq: 3, older_stores: 0 };
+        assert_eq!(pred.predict_load(&q2).dep, DepPrediction::None);
+    }
+
+    #[test]
+    fn window_limits_visibility() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        let mut c = b.at(e);
+        c.li(Reg(1), 0x1000).li(Reg(2), 1);
+        c.store(Reg(1), 0, Reg(2), MemSize::B8); // seq 2, conflicting
+        for i in 0..4 {
+            c.store(Reg(1), 64 * (i + 1), Reg(2), MemSize::B8);
+        }
+        c.load(Reg(3), Reg(1), 0, MemSize::B8); // seq 7
+        c.halt();
+        b.set_entry(e);
+        let p = b.build().unwrap();
+        let o = DepOracle::build(&p, 100, 2).unwrap();
+        assert_eq!(o.lookup(7), None, "conflicting store fell out of the window");
+    }
+}

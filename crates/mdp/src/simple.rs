@@ -1,0 +1,85 @@
+//! Degenerate reference predictors bounding the design space.
+
+use crate::types::{AccessStats, DepPrediction, LoadQuery, PredictionOutcome, Violation};
+use crate::MemDepPredictor;
+
+/// Never predicts a dependence: every load issues speculatively and every
+/// true conflict becomes a memory-order violation. This is the "no MDP"
+/// lower bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlindSpeculation;
+
+impl MemDepPredictor for BlindSpeculation {
+    fn name(&self) -> String {
+        "blind-speculation".into()
+    }
+
+    fn predict_load(&mut self, _q: &LoadQuery<'_>) -> PredictionOutcome {
+        PredictionOutcome::none()
+    }
+
+    fn train_violation(&mut self, _v: &Violation<'_>) {}
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        AccessStats::default()
+    }
+}
+
+/// Predicts a dependence on all older stores for every load: no violations
+/// ever, maximal false dependencies. This is the in-order lower bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TotalOrder;
+
+impl MemDepPredictor for TotalOrder {
+    fn name(&self) -> String {
+        "total-order".into()
+    }
+
+    fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
+        if q.older_stores == 0 {
+            PredictionOutcome::none()
+        } else {
+            PredictionOutcome { dep: DepPrediction::AllOlder, hint: 0 }
+        }
+    }
+
+    fn train_violation(&mut self, _v: &Violation<'_>) {}
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+
+    fn access_stats(&self) -> AccessStats {
+        AccessStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_branch::DivergentHistory;
+
+    fn query(history: &DivergentHistory, older: u32) -> LoadQuery<'_> {
+        LoadQuery { pc: 0x40_0000, token: 1, history, arch_seq: 0, older_stores: older }
+    }
+
+    #[test]
+    fn blind_never_predicts() {
+        let h = DivergentHistory::new();
+        let mut p = BlindSpeculation;
+        assert_eq!(p.predict_load(&query(&h, 5)).dep, DepPrediction::None);
+        assert_eq!(p.storage_bits(), 0);
+    }
+
+    #[test]
+    fn total_order_waits_when_stores_exist() {
+        let h = DivergentHistory::new();
+        let mut p = TotalOrder;
+        assert_eq!(p.predict_load(&query(&h, 3)).dep, DepPrediction::AllOlder);
+        assert_eq!(p.predict_load(&query(&h, 0)).dep, DepPrediction::None);
+    }
+}

@@ -1,0 +1,250 @@
+//! A generic set-associative prediction table with partial tags and LRU
+//! replacement — the common substrate of the NoSQ predictor, MDP-TAGE-S and
+//! PHAST (Table II all use "tag + payload + lru" caches).
+
+/// Geometry of an associative prediction table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Partial tag width in bits (≤ 32).
+    pub tag_bits: u32,
+}
+
+impl TableGeometry {
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Bits needed for the LRU field per entry.
+    pub fn lru_bits(&self) -> usize {
+        usize::BITS as usize - (self.ways.max(2) - 1).leading_zeros() as usize
+    }
+
+    /// Index mask derived from `sets`.
+    fn index_mask(&self) -> u64 {
+        self.sets as u64 - 1
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot<E> {
+    tag: u32,
+    lru: u32,
+    payload: E,
+}
+
+/// Set-associative table mapping `(index, tag)` to a payload `E`.
+///
+/// The caller provides pre-hashed index and tag values; the table masks
+/// them to its geometry. Lookups refresh LRU; insertion replaces the LRU
+/// way unless the caller's `keep` predicate protects it.
+#[derive(Clone, Debug)]
+pub struct AssocTable<E> {
+    geo: TableGeometry,
+    sets: Vec<Vec<Slot<E>>>,
+    lru_clock: u32,
+}
+
+impl<E> AssocTable<E> {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `tag_bits > 32`.
+    pub fn new(geo: TableGeometry) -> AssocTable<E> {
+        assert!(geo.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(geo.tag_bits <= 32, "tags are at most 32 bits");
+        AssocTable {
+            geo,
+            sets: (0..geo.sets).map(|_| Vec::with_capacity(geo.ways)).collect(),
+            lru_clock: 0,
+        }
+    }
+
+    /// The table geometry.
+    pub fn geometry(&self) -> TableGeometry {
+        self.geo
+    }
+
+    #[inline]
+    fn set_of(&self, index: u64) -> usize {
+        (index & self.geo.index_mask()) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, tag: u64) -> u32 {
+        (tag & ((1u64 << self.geo.tag_bits) - 1)) as u32
+    }
+
+    /// Looks up an entry, refreshing its LRU position on hit.
+    pub fn lookup(&mut self, index: u64, tag: u64) -> Option<&mut E> {
+        let set = self.set_of(index);
+        let tag = self.tag_of(tag);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        self.sets[set].iter_mut().find(|s| s.tag == tag).map(|s| {
+            s.lru = clock;
+            &mut s.payload
+        })
+    }
+
+    /// Looks up an entry without disturbing LRU state.
+    pub fn peek(&self, index: u64, tag: u64) -> Option<&E> {
+        let set = self.set_of(index);
+        let tag = self.tag_of(tag);
+        self.sets[set].iter().find(|s| s.tag == tag).map(|s| &s.payload)
+    }
+
+    /// Inserts (or replaces) the entry for `(index, tag)`.
+    ///
+    /// On a conflict miss the least-recently-used way is evicted and
+    /// returned.
+    pub fn insert(&mut self, index: u64, tag: u64, payload: E) -> Option<E> {
+        let set = self.set_of(index);
+        let tag = self.tag_of(tag);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let ways = &mut self.sets[set];
+        if let Some(slot) = ways.iter_mut().find(|s| s.tag == tag) {
+            slot.lru = clock;
+            return Some(std::mem::replace(&mut slot.payload, payload));
+        }
+        if ways.len() < self.geo.ways {
+            ways.push(Slot { tag, lru: clock, payload });
+            return None;
+        }
+        let victim = ways.iter_mut().min_by_key(|s| s.lru).expect("ways > 0");
+        let old = std::mem::replace(victim, Slot { tag, lru: clock, payload });
+        Some(old.payload)
+    }
+
+    /// True if the set for `index` has no free way left.
+    pub fn set_full(&self, index: u64) -> bool {
+        let set = self.set_of(index);
+        self.sets[set].len() >= self.geo.ways
+    }
+
+    /// The payload that [`insert`](Self::insert) would evict on a conflict
+    /// miss at `index` (the LRU way), if the set is full.
+    pub fn lru_victim_mut(&mut self, index: u64) -> Option<&mut E> {
+        let set = self.set_of(index);
+        if self.sets[set].len() < self.geo.ways {
+            return None;
+        }
+        self.sets[set].iter_mut().min_by_key(|s| s.lru).map(|s| &mut s.payload)
+    }
+
+    /// Removes the entry for `(index, tag)` if present.
+    pub fn remove(&mut self, index: u64, tag: u64) -> Option<E> {
+        let set = self.set_of(index);
+        let tag = self.tag_of(tag);
+        let ways = &mut self.sets[set];
+        let pos = ways.iter().position(|s| s.tag == tag)?;
+        Some(ways.swap_remove(pos).payload)
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over all valid payloads mutably (used for periodic resets).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut E> {
+        self.sets.iter_mut().flatten().map(|s| &mut s.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> AssocTable<u32> {
+        AssocTable::new(TableGeometry { sets: 4, ways: 2, tag_bits: 16 })
+    }
+
+    #[test]
+    fn geometry_accounting() {
+        let g = TableGeometry { sets: 128, ways: 4, tag_bits: 16 };
+        assert_eq!(g.entries(), 512, "PHAST per-table entries (§IV-B)");
+        assert_eq!(g.lru_bits(), 2);
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut t = table();
+        assert!(t.lookup(1, 0xaaaa).is_none());
+        assert_eq!(t.insert(1, 0xaaaa, 7), None);
+        assert_eq!(t.lookup(1, 0xaaaa), Some(&mut 7));
+    }
+
+    #[test]
+    fn tags_are_masked() {
+        let mut t = table();
+        t.insert(0, 0x1_2345, 1); // tag truncated to 16 bits -> 0x2345
+        assert!(t.peek(0, 0x2345).is_some(), "aliases at the partial tag width");
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale() {
+        let mut t = table();
+        t.insert(2, 1, 10);
+        t.insert(2, 2, 20);
+        t.lookup(2, 1); // refresh tag 1
+        let evicted = t.insert(2, 3, 30);
+        assert_eq!(evicted, Some(20), "tag 2 was least recently used");
+        assert!(t.peek(2, 1).is_some());
+        assert!(t.peek(2, 3).is_some());
+    }
+
+    #[test]
+    fn replace_same_tag_returns_old() {
+        let mut t = table();
+        t.insert(3, 9, 1);
+        assert_eq!(t.insert(3, 9, 2), Some(1));
+        assert_eq!(t.peek(3, 9), Some(&2));
+        assert_eq!(t.occupancy(), 1, "same tag replaces, not duplicates");
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = table();
+        t.insert(0, 1, 5);
+        t.insert(1, 1, 6);
+        assert_eq!(t.remove(0, 1), Some(5));
+        assert_eq!(t.remove(0, 1), None);
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut t = table();
+        t.insert(0, 7, 1);
+        t.insert(1, 7, 2);
+        assert_eq!(t.peek(0, 7), Some(&1));
+        assert_eq!(t.peek(1, 7), Some(&2));
+    }
+
+    #[test]
+    fn iter_mut_supports_global_updates() {
+        let mut t = table();
+        t.insert(0, 1, 1);
+        t.insert(1, 2, 2);
+        for v in t.iter_mut() {
+            *v += 100;
+        }
+        assert_eq!(t.peek(0, 1), Some(&101));
+        assert_eq!(t.peek(1, 2), Some(&102));
+    }
+}

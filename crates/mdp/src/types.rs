@@ -1,0 +1,187 @@
+//! Context and result types exchanged between the core and predictors.
+
+use phast_branch::DivergentHistory;
+use phast_isa::Pc;
+
+/// Maximum representable store distance (7-bit field, Table II: enough to
+/// cover every in-flight store of a 114-entry store buffer).
+pub const MAX_STORE_DISTANCE: u32 = 127;
+
+/// The paper's index hash of a load PC: `PC ^ (PC >> 2) ^ (PC >> 5)`
+/// (§IV-B). The low 2 bits are dropped first since instructions are
+/// 4-byte aligned.
+#[inline]
+pub fn pc_index_hash(pc: Pc) -> u64 {
+    let pc = pc >> 2;
+    pc ^ (pc >> 2) ^ (pc >> 5)
+}
+
+/// The paper's tag hash of a load PC: the PC offset by 3 and 7 (§IV-B).
+#[inline]
+pub fn pc_tag_hash(pc: Pc) -> u64 {
+    let pc = pc >> 2;
+    pc ^ (pc >> 3) ^ (pc >> 7)
+}
+
+/// What a predictor believes about a dispatching load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepPrediction {
+    /// The load may issue speculatively.
+    None,
+    /// The load depends on the store `distance` stores older than it,
+    /// counting 0 as the youngest store older than the load.
+    Distance(u32),
+    /// The load depends on the specific in-flight store with this token
+    /// (Store Sets resolves its LFST to a concrete store).
+    StoreToken(u64),
+    /// The load depends on every older store whose distance bit is set
+    /// (Store Vectors). Bit `d` means "wait for the store `d` stores older
+    /// than the load"; 128 bits cover any realistic store queue.
+    DistanceMask(u128),
+    /// The load must wait for every older store (CHT-style collision
+    /// prediction, and the total-order reference predictor).
+    AllOlder,
+}
+
+impl DepPrediction {
+    /// True if this prediction makes the load wait on something.
+    pub fn is_dependence(self) -> bool {
+        !matches!(self, DepPrediction::None)
+    }
+}
+
+/// A prediction plus an opaque hint the predictor wants echoed back in
+/// [`LoadCommit`]/[`Violation`] (e.g. which history length provided it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictionOutcome {
+    /// The dependence prediction.
+    pub dep: DepPrediction,
+    /// Opaque predictor-specific state (0 when unused).
+    pub hint: u64,
+}
+
+impl PredictionOutcome {
+    /// A "no dependence" outcome with no hint.
+    pub fn none() -> PredictionOutcome {
+        PredictionOutcome { dep: DepPrediction::None, hint: 0 }
+    }
+}
+
+/// Read/write access counts of a predictor's tables, for the Cacti-style
+/// energy model (paper Fig. 16 splits energy into reads and writes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Table reads (predictions and training lookups).
+    pub reads: u64,
+    /// Table writes (allocations and counter updates).
+    pub writes: u64,
+}
+
+impl AccessStats {
+    /// Accumulates another counter set.
+    pub fn add(&mut self, other: AccessStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+/// Context for predicting a dispatching load.
+#[derive(Clone, Copy)]
+pub struct LoadQuery<'a> {
+    /// PC of the load.
+    pub pc: Pc,
+    /// Unique, monotonically increasing token of this dynamic load.
+    pub token: u64,
+    /// Speculative decode-time divergent-branch history.
+    pub history: &'a DivergentHistory,
+    /// Estimated architectural sequence number of this dynamic instruction
+    /// (exact on the correct path). Consumed by the oracle predictor.
+    pub arch_seq: u64,
+    /// Number of older stores currently in the store queue.
+    pub older_stores: u32,
+}
+
+/// Context for a dispatching store.
+#[derive(Clone, Copy)]
+pub struct StoreQuery<'a> {
+    /// PC of the store.
+    pub pc: Pc,
+    /// Unique token of this dynamic store.
+    pub token: u64,
+    /// Speculative decode-time divergent-branch history.
+    pub history: &'a DivergentHistory,
+}
+
+/// A confirmed memory-order violation (the training event).
+#[derive(Clone, Copy)]
+pub struct Violation<'a> {
+    /// PC of the violating load.
+    pub load_pc: Pc,
+    /// PC of the conflicting store (the youngest one, §III-A).
+    pub store_pc: Pc,
+    /// Store distance: stores older than the load but younger than the
+    /// conflicting store.
+    pub store_distance: u32,
+    /// N: the number of divergent branches between the conflicting store
+    /// and the load. Context-sensitive predictors collect N+1 history
+    /// entries — the extra entry is the divergent branch previous to the
+    /// store, whose destination disambiguates same-suffix paths
+    /// (§IV-A2, Fig. 5).
+    pub history_len: u32,
+    /// Divergent-branch history at the training point (commit time under
+    /// the paper's preferred policy).
+    pub history: &'a DivergentHistory,
+    /// Token of the load.
+    pub load_token: u64,
+    /// Token of the store.
+    pub store_token: u64,
+    /// What the predictor had said for this load at dispatch.
+    pub prior: PredictionOutcome,
+}
+
+/// Commit-time feedback for a load.
+#[derive(Clone, Copy)]
+pub struct LoadCommit<'a> {
+    /// PC of the load.
+    pub pc: Pc,
+    /// The prediction made at dispatch.
+    pub prediction: PredictionOutcome,
+    /// The actual store distance of the youngest conflicting older store
+    /// still in flight at dispatch, if any.
+    pub actual_distance: Option<u32>,
+    /// True if the predicted wait targeted the correct store (the paper
+    /// resets the confidence counter to maximum in this case, otherwise
+    /// decrements it).
+    pub waited_correct: bool,
+    /// Commit-time divergent-branch history (identical content to the
+    /// decode-time history for a committed load).
+    pub history: &'a DivergentHistory,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_hashes_differ_and_are_stable() {
+        let pc = 0x40_1234;
+        assert_eq!(pc_index_hash(pc), pc_index_hash(pc));
+        assert_ne!(pc_index_hash(pc), pc_tag_hash(pc));
+        assert_ne!(pc_index_hash(pc), pc_index_hash(pc + 4));
+    }
+
+    #[test]
+    fn prediction_classification() {
+        assert!(!DepPrediction::None.is_dependence());
+        assert!(DepPrediction::Distance(0).is_dependence());
+        assert!(DepPrediction::StoreToken(3).is_dependence());
+        assert!(DepPrediction::AllOlder.is_dependence());
+    }
+
+    #[test]
+    fn access_stats_accumulate() {
+        let mut a = AccessStats { reads: 1, writes: 2 };
+        a.add(AccessStats { reads: 10, writes: 20 });
+        assert_eq!(a, AccessStats { reads: 11, writes: 22 });
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the shared associative table and the oracle.
+
+use phast_mdp::{AssocTable, TableGeometry};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64, u32),
+    Lookup(u64, u64),
+    Remove(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..16, 0u64..8, any::<u32>()).prop_map(|(i, t, v)| Op::Insert(i, t, v)),
+        (0u64..16, 0u64..8).prop_map(|(i, t)| Op::Lookup(i, t)),
+        (0u64..16, 0u64..8).prop_map(|(i, t)| Op::Remove(i, t)),
+    ]
+}
+
+proptest! {
+    /// Model-based test: with at most `ways` distinct tags per set, the
+    /// table behaves exactly like a hash map (no capacity evictions can
+    /// occur, so contents must match a reference model).
+    #[test]
+    fn table_matches_hashmap_when_within_capacity(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let geo = TableGeometry { sets: 16, ways: 8, tag_bits: 8 };
+        let mut table: AssocTable<u32> = AssocTable::new(geo);
+        let mut model: HashMap<(u64, u64), u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(i, t, v) => {
+                    table.insert(i, t, v);
+                    model.insert((i % 16, t % 256), v);
+                }
+                Op::Lookup(i, t) => {
+                    let got = table.lookup(i, t).copied();
+                    let want = model.get(&(i % 16, t % 256)).copied();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove(i, t) => {
+                    let got = table.remove(i, t);
+                    let want = model.remove(&(i % 16, t % 256));
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(table.occupancy(), model.len());
+    }
+
+    /// Occupancy never exceeds the structural capacity, whatever happens.
+    #[test]
+    fn occupancy_is_bounded(ops in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u32>()), 0..500)) {
+        let geo = TableGeometry { sets: 8, ways: 2, tag_bits: 16 };
+        let mut table: AssocTable<u32> = AssocTable::new(geo);
+        for (i, t, v) in ops {
+            table.insert(i, t, v);
+            prop_assert!(table.occupancy() <= geo.entries());
+        }
+    }
+
+    /// The most recently inserted entry is always findable (LRU never
+    /// evicts the newest entry).
+    #[test]
+    fn newest_insert_survives(ops in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u32>()), 1..200)) {
+        let geo = TableGeometry { sets: 4, ways: 2, tag_bits: 12 };
+        let mut table: AssocTable<u32> = AssocTable::new(geo);
+        for (i, t, v) in &ops {
+            table.insert(*i, *t, *v);
+            prop_assert_eq!(table.peek(*i, *t), Some(v));
+        }
+    }
+}
+
+mod oracle_props {
+    use super::*;
+    use phast_isa::{MemSize, ProgramBuilder, Reg};
+    use phast_mdp::DepOracle;
+
+    proptest! {
+        /// For a straight line of stores followed by one load at a random
+        /// position in the store stream, the oracle's distance is exactly
+        /// the number of younger stores after the matching one.
+        #[test]
+        fn oracle_distance_is_exact(n_stores in 1usize..20, target in 0usize..20) {
+            let target = target % n_stores;
+            let mut b = ProgramBuilder::new();
+            let e = b.block();
+            let mut c = b.at(e);
+            c.li(Reg(1), 0x1000).li(Reg(2), 5);
+            for i in 0..n_stores {
+                c.store(Reg(1), 64 * i as i64, Reg(2), MemSize::B8);
+            }
+            c.load(Reg(3), Reg(1), 64 * target as i64, MemSize::B8).halt();
+            b.set_entry(e);
+            let p = b.build().unwrap();
+            let oracle = DepOracle::build(&p, 1000, 64).unwrap();
+            let load_seq = 2 + n_stores as u64;
+            let (dist, store_seq) = oracle.lookup(load_seq).expect("dependence exists");
+            prop_assert_eq!(dist as usize, n_stores - 1 - target);
+            prop_assert_eq!(store_seq, 2 + target as u64);
+        }
+    }
+}

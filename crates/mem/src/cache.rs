@@ -1,0 +1,269 @@
+//! A set-associative cache tag array with true-LRU replacement and
+//! MSHR-limited miss tracking.
+
+use crate::LINE_BYTES;
+use std::collections::VecDeque;
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in cycles (pipelined; adds to the request's total).
+    pub hit_latency: u64,
+    /// Number of miss-status holding registers.
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a power-of-two set count.
+    pub fn sets(&self) -> usize {
+        let sets = (self.size_bytes / LINE_BYTES) as usize / self.ways;
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two, got {sets}");
+        sets
+    }
+
+    /// Storage of the data array in bits (for reporting).
+    pub fn storage_bits(&self) -> usize {
+        (self.size_bytes * 8) as usize
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    lru: u32,
+}
+
+/// Per-level statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Misses merged into an already-outstanding line (MSHR hit).
+    pub mshr_merges: u64,
+    /// Cycles of stall charged because all MSHRs were busy.
+    pub mshr_stall_cycles: u64,
+    /// Lines installed by prefetch.
+    pub prefetch_fills: u64,
+}
+
+/// One cache level: tag array + MSHRs.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    lru_clock: u32,
+    /// Outstanding misses: (line, completion_cycle). Pruned lazily.
+    inflight: VecDeque<(u64, u64)>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets: vec![vec![Way::default(); cfg.ways]; sets],
+            lru_clock: 0,
+            inflight: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The level's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The level's statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up `line`, updating LRU on hit. Returns true on hit.
+    pub fn probe(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let tag = line;
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.lru = clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs `line`, evicting the LRU way. Returns the evicted line.
+    pub fn fill(&mut self, line: u64) -> Option<u64> {
+        let set = self.set_of(line);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        // Already present (e.g. a prefetch raced a demand fill): refresh.
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == line {
+                way.lru = clock;
+                return None;
+            }
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("ways > 0");
+        let evicted = victim.valid.then_some(victim.tag);
+        *victim = Way { valid: true, tag: line, lru: clock };
+        evicted
+    }
+
+    fn prune_inflight(&mut self, now: u64) {
+        while let Some(&(_, done)) = self.inflight.front() {
+            if done <= now {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Accounts a miss for `line` that will be filled by `fill_done`.
+    ///
+    /// Returns the actual completion cycle after MSHR constraints:
+    /// * if the line is already outstanding, the request merges and
+    ///   completes with the existing miss;
+    /// * if all MSHRs are busy, the request is delayed until one frees.
+    pub fn track_miss(&mut self, line: u64, now: u64, fill_done: u64) -> u64 {
+        self.prune_inflight(now);
+        if let Some(&(_, done)) = self.inflight.iter().find(|(l, _)| *l == line) {
+            self.stats.mshr_merges += 1;
+            return done;
+        }
+        let mut start = now;
+        if self.inflight.len() >= self.cfg.mshrs {
+            // Wait for the oldest outstanding miss to retire its MSHR.
+            let free_at = self.inflight[self.inflight.len() - self.cfg.mshrs].1;
+            self.stats.mshr_stall_cycles += free_at.saturating_sub(now);
+            start = free_at;
+        }
+        let done = fill_done + (start - now);
+        // Keep completion order sorted so pruning stays correct.
+        let pos = self.inflight.partition_point(|&(_, d)| d <= done);
+        self.inflight.insert(pos, (line, done));
+        self.stats.misses += 1;
+        done
+    }
+
+    /// Records a demand hit.
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Records a prefetch fill.
+    pub fn note_prefetch_fill(&mut self) {
+        self.stats.prefetch_fills += 1;
+    }
+
+    /// Hit latency of this level.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig { size_bytes: 4 * 64 * 2, ways: 2, hit_latency: 3, mshrs: 2 })
+    }
+
+    #[test]
+    fn config_sets() {
+        let c = CacheConfig { size_bytes: 48 * 1024, ways: 12, hit_latency: 5, mshrs: 64 };
+        assert_eq!(c.sets(), 64, "48KB/12-way/64B lines = 64 sets (Alder Lake L1D)");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn config_rejects_bad_geometry() {
+        let c = CacheConfig { size_bytes: 48 * 1024, ways: 10, hit_latency: 5, mshrs: 64 };
+        let _ = c.sets();
+    }
+
+    #[test]
+    fn probe_miss_then_fill_then_hit() {
+        let mut c = small();
+        assert!(!c.probe(100));
+        c.fill(100);
+        assert!(c.probe(100));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(); // 4 sets, 2 ways
+        // Lines 0, 4, 8 all map to set 0.
+        c.fill(0);
+        c.fill(4);
+        assert!(c.probe(0), "refresh line 0");
+        let evicted = c.fill(8);
+        assert_eq!(evicted, Some(4), "line 4 is LRU");
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn mshr_merge_returns_same_completion() {
+        let mut c = small();
+        let d1 = c.track_miss(100, 10, 110);
+        let d2 = c.track_miss(100, 12, 130);
+        assert_eq!(d1, 110);
+        assert_eq!(d2, 110, "second request merges into the outstanding miss");
+        assert_eq!(c.stats().mshr_merges, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_delays() {
+        let mut c = small(); // 2 MSHRs
+        let d1 = c.track_miss(1, 0, 100);
+        let _d2 = c.track_miss(2, 0, 100);
+        let d3 = c.track_miss(3, 0, 100);
+        assert_eq!(d1, 100);
+        assert!(d3 > 100, "third concurrent miss must wait for an MSHR");
+        assert!(c.stats().mshr_stall_cycles > 0);
+    }
+
+    #[test]
+    fn mshrs_free_over_time() {
+        let mut c = small();
+        c.track_miss(1, 0, 50);
+        c.track_miss(2, 0, 50);
+        // At cycle 60, both are done; a new miss proceeds immediately.
+        let d = c.track_miss(3, 60, 160);
+        assert_eq!(d, 160);
+    }
+
+    #[test]
+    fn fill_of_present_line_evicts_nothing() {
+        let mut c = small();
+        c.fill(0);
+        assert_eq!(c.fill(0), None);
+    }
+}

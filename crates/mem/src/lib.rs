@@ -1,0 +1,27 @@
+//! Memory hierarchy model for the PHAST reproduction.
+//!
+//! Models the Table I hierarchy of the paper: private L1I/L1D and L2, a
+//! shared banked L3, an IP-stride L1D prefetcher, MSHR-limited miss
+//! handling and a flat-latency DRAM. The model is a *latency calculator*:
+//! the out-of-order core asks for the completion cycle of an access and the
+//! hierarchy updates its tag state eagerly. Bandwidth is modelled through
+//! MSHR occupancy; coherence is out of scope (single core, see DESIGN.md).
+
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod prefetch;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HierarchyStats};
+pub use prefetch::{StridePrefetcher, StridePrefetcherConfig};
+
+/// Cache line size in bytes, fixed across the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// Maps a byte address to its line address.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}

@@ -1,0 +1,1227 @@
+//! The value-accurate, cycle-level out-of-order core.
+//!
+//! The core executes a `phast-isa` program *in the pipeline*: instructions
+//! are fetched down the predicted path, renamed onto producer tokens,
+//! issued when operands and ports allow, and compute real values at issue.
+//! Wrong-path execution, store-to-load forwarding, memory-order violations
+//! and their squashes therefore arise from first principles rather than
+//! being replayed from a trace. The committed instruction stream is
+//! bit-identical to the reference emulator (asserted by integration
+//! tests).
+//!
+//! Squash policy follows the paper's §V: **eager** recovery for branch
+//! mispredictions (at branch resolution), **lazy** commit-time squash for
+//! memory-order violations. The §IV-A1 forwarding filter (don't squash a
+//! load when the "conflicting" store is older than the store that
+//! forwarded the load's data, Fig. 3c) is a config toggle evaluated by
+//! Fig. 12.
+
+use crate::config::{CoreConfig, IndirectPredictorKind, MemSquashPolicy, TrainPoint};
+use crate::stats::SimStats;
+use phast_branch::{
+    DirectionPredictor, DivergentEvent, DivergentHistory, HistoryCheckpoint, Ittage, IttageConfig,
+    LastTargetPredictor, ReturnAddressStack,
+};
+use phast_isa::{
+    compute_value, ranges_overlap, BlockId, ExecClass, Inst, MemSize, Op, Pc, Program, Reg,
+    SparseMemory, NUM_REGS,
+};
+use phast_mdp::{
+    DepPrediction, LoadCommit, LoadQuery, MemDepPredictor, PredictionOutcome, StoreQuery,
+    Violation,
+};
+use phast_mem::{line_of, AccessKind, Hierarchy};
+use std::collections::VecDeque;
+
+/// What a load has been told to wait for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum WaitSpec {
+    /// No dependence predicted.
+    None,
+    /// Wait until one specific store token has executed.
+    One(u64),
+    /// Wait until each of these store tokens has executed (Store Vectors).
+    Many(Vec<u64>),
+    /// Wait until every older in-flight store has executed.
+    AllOlder,
+}
+
+/// A memory-order violation recorded on a load, pending its lazy squash.
+#[derive(Clone, Copy, Debug)]
+struct PendingViolation {
+    store_pc: Pc,
+    store_token: u64,
+    store_distance: u32,
+    history_len: u32,
+}
+
+/// One in-flight micro-operation.
+struct Uop {
+    token: u64,
+    arch_seq: u64,
+    block: BlockId,
+    index: usize,
+    pc: Pc,
+    class: ExecClass,
+    dst: Option<Reg>,
+    srcs: [Option<Reg>; 2],
+    src_producers: [Option<u64>; 2],
+    imm: i64,
+    is_halt: bool,
+
+    // Lifecycle.
+    issue_ready_at: u64,
+    issued: bool,
+    complete_at: u64,
+    completed: bool,
+    result: Option<u64>,
+
+    // Rename undo (previous RAT mapping of `dst`).
+    prev_rat: Option<u64>,
+
+    // Front-end speculation state captured just before this uop's fetch.
+    hist_cp: HistoryCheckpoint,
+    ras_cp: phast_branch::RasCheckpoint,
+    ghr_at_fetch: u128,
+    /// Target-path history (1 outcome bit per conditional, 5 destination
+    /// bits per indirect) at fetch — what ITTAGE keys on.
+    path_ghr_at_fetch: u128,
+    div_count: u64,
+
+    // Control flow.
+    predicted_next: Option<(BlockId, usize)>,
+    actual_next: Option<(BlockId, usize)>,
+    actual_event: Option<DivergentEvent>,
+    actual_taken: bool,
+    was_mispredicted: bool,
+
+    // Memory.
+    mem_size: u64,
+    addr: Option<u64>,
+    store_data: Option<u64>,
+    forward_source: Option<u64>,
+    forward_distance: Option<u32>,
+    fully_forwarded: bool,
+    violation: Option<PendingViolation>,
+
+    // Memory dependence prediction.
+    prediction: PredictionOutcome,
+    wait: WaitSpec,
+    mdp_delayed: bool,
+}
+
+/// The front end's indirect-target predictor (configurable flavour).
+enum IndirectPredictor {
+    LastTarget(LastTargetPredictor),
+    Ittage(Box<Ittage>),
+}
+
+impl IndirectPredictor {
+    fn predict(&self, pc: Pc, ghr: u128) -> Option<BlockId> {
+        match self {
+            IndirectPredictor::LastTarget(p) => p.predict(pc),
+            IndirectPredictor::Ittage(p) => p.predict(pc, ghr),
+        }
+    }
+
+    fn update(&mut self, pc: Pc, ghr: u128, target: BlockId) {
+        match self {
+            IndirectPredictor::LastTarget(p) => p.update(pc, target),
+            IndirectPredictor::Ittage(p) => p.update(pc, ghr, target),
+        }
+    }
+}
+
+/// Where fetch resumes after a squash.
+enum Redirect {
+    /// Re-fetch from this exact static location (violation squash).
+    At((BlockId, usize)),
+    /// Fetch is stalled until an older squash redirects it (corrupt
+    /// indirect target on what is so far the speculative path).
+    Stalled,
+}
+
+/// The out-of-order core, generic over the memory dependence predictor it
+/// is evaluated with.
+pub struct Core<'a> {
+    program: &'a Program,
+    cfg: CoreConfig,
+    predictor: &'a mut dyn MemDepPredictor,
+    direction: Box<dyn DirectionPredictor>,
+
+    // Front end.
+    cursor: Option<(BlockId, usize)>,
+    fetch_stalled_until: u64,
+    cur_fetch_line: Option<u64>,
+    next_token: u64,
+    next_arch_seq: u64,
+    halt_fetched: bool,
+
+    // Speculation state.
+    cond_ghr: u128,
+    path_ghr: u128,
+    spec_hist: DivergentHistory,
+    commit_hist: DivergentHistory,
+    indirect: IndirectPredictor,
+    ras: ReturnAddressStack,
+
+    // Rename and architectural state.
+    rat: [Option<u64>; NUM_REGS],
+    arch_regs: [u64; NUM_REGS],
+    memory_state: SparseMemory,
+
+    // Back end.
+    rob: VecDeque<Uop>,
+    rob_head_token: u64,
+    unissued: usize,
+    lq_count: usize,
+    sq_tokens: Vec<u64>,
+    sb_drains: VecDeque<u64>,
+    mem: Hierarchy,
+
+    cycle: u64,
+    last_commit_cycle: u64,
+    stats: SimStats,
+    halted: bool,
+    commit_log: Option<Vec<CommitRecord>>,
+}
+
+/// One committed instruction, for equivalence checks against the
+/// functional emulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Architectural sequence number (matches the emulator's `seq`).
+    pub arch_seq: u64,
+    /// Program counter.
+    pub pc: Pc,
+    /// Destination value written, if any.
+    pub dst_value: Option<u64>,
+    /// Effective address of loads/stores.
+    pub eff_addr: Option<u64>,
+}
+
+impl<'a> Core<'a> {
+    /// Creates a core at the program entry with cold predictors and caches.
+    pub fn new(
+        program: &'a Program,
+        cfg: CoreConfig,
+        predictor: &'a mut dyn MemDepPredictor,
+        direction: Box<dyn DirectionPredictor>,
+    ) -> Core<'a> {
+        Core {
+            mem: Hierarchy::new(cfg.memory),
+            cursor: Some((program.entry(), 0)),
+            fetch_stalled_until: 0,
+            cur_fetch_line: None,
+            next_token: 0,
+            next_arch_seq: 0,
+            halt_fetched: false,
+            cond_ghr: 0,
+            path_ghr: 0,
+            spec_hist: DivergentHistory::new(),
+            commit_hist: DivergentHistory::new(),
+            indirect: match cfg.indirect_predictor {
+                IndirectPredictorKind::LastTarget => {
+                    IndirectPredictor::LastTarget(LastTargetPredictor::new(512))
+                }
+                IndirectPredictorKind::Ittage => {
+                    IndirectPredictor::Ittage(Box::new(Ittage::new(IttageConfig::default())))
+                }
+            },
+            ras: ReturnAddressStack::new(32),
+            rat: [None; NUM_REGS],
+            arch_regs: [0; NUM_REGS],
+            memory_state: SparseMemory::new(),
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            rob_head_token: 0,
+            unissued: 0,
+            lq_count: 0,
+            sq_tokens: Vec::new(),
+            sb_drains: VecDeque::new(),
+            cycle: 0,
+            last_commit_cycle: 0,
+            stats: SimStats::default(),
+            halted: false,
+            commit_log: None,
+            program,
+            cfg,
+            predictor,
+            direction,
+        }
+    }
+
+    /// Runs until `max_insts` have committed, the program halts, or
+    /// `max_cycles` elapse. Returns the accumulated statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction commits for `deadlock_cycles` (a core
+    /// model bug) or if the committed path executes a corrupt `Ret`.
+    pub fn run(&mut self, max_insts: u64, max_cycles: u64) -> SimStats {
+        while !self.halted && self.stats.committed < max_insts && self.cycle < max_cycles {
+            self.step();
+        }
+        let mut stats = self.stats.clone();
+        stats.cycles = self.cycle;
+        stats.halted = self.halted;
+        stats.predictor_accesses = self.predictor.access_stats();
+        stats.memory = self.mem.stats();
+        stats
+    }
+
+    /// Starts recording every committed instruction, for equivalence
+    /// checks against the reference emulator.
+    pub fn enable_commit_log(&mut self) {
+        self.commit_log = Some(Vec::new());
+    }
+
+    /// The recorded commit log (empty unless enabled).
+    pub fn commit_log(&self) -> &[CommitRecord] {
+        self.commit_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Architectural register value (for oracle-style verification).
+    pub fn arch_reg(&self, r: Reg) -> u64 {
+        self.arch_regs[r.index()]
+    }
+
+    /// Committed architectural memory (for oracle-style verification).
+    pub fn arch_memory(&self) -> &SparseMemory {
+        &self.memory_state
+    }
+
+    /// Advances one cycle: commit → writeback → issue → fetch.
+    fn step(&mut self) {
+        self.drain_store_buffer();
+        self.commit();
+        self.writeback();
+        self.issue();
+        self.fetch();
+        self.cycle += 1;
+        assert!(
+            self.cycle - self.last_commit_cycle <= self.cfg.deadlock_cycles,
+            "deadlock at cycle {}: rob={} head={:?}",
+            self.cycle,
+            self.rob.len(),
+            self.rob.front().map(|u| (u.token, u.class, u.issued, u.completed)),
+        );
+    }
+
+    #[inline]
+    fn rob_index(&self, token: u64) -> usize {
+        debug_assert!(token >= self.rob_head_token);
+        (token - self.rob_head_token) as usize
+    }
+
+    #[inline]
+    fn uop(&self, token: u64) -> &Uop {
+        &self.rob[self.rob_index(token)]
+    }
+
+    fn store_done(&self, token: u64) -> bool {
+        if token < self.rob_head_token {
+            return true; // already committed
+        }
+        let idx = (token - self.rob_head_token) as usize;
+        match self.rob.get(idx) {
+            Some(u) => u.completed,
+            None => true, // squashed or never existed: nothing to wait for
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn drain_store_buffer(&mut self) {
+        let mut drained = 0;
+        while drained < self.cfg.ports.store {
+            match self.sb_drains.front() {
+                Some(&done) if done <= self.cycle => {
+                    self.sb_drains.pop_front();
+                    drained += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed {
+                break;
+            }
+            if head.class == ExecClass::Load {
+                if let Some(v) = head.violation {
+                    self.commit_violation(v);
+                    break;
+                }
+            }
+            self.commit_one();
+            if self.halted {
+                break;
+            }
+        }
+    }
+
+    /// Lazy squash: the head load was mispeculated; train, squash from the
+    /// load (inclusive) and re-fetch it.
+    fn commit_violation(&mut self, v: PendingViolation) {
+        self.stats.violations += 1;
+        let head = self.rob.front().expect("head exists");
+        let (block, index) = (head.block, head.index);
+        let load_pc = head.pc;
+        let load_token = head.token;
+        let prior = head.prediction;
+        let hist_cp = head.hist_cp;
+        let ras_cp = head.ras_cp;
+        let ghr = head.ghr_at_fetch;
+        let path_ghr = head.path_ghr_at_fetch;
+        let arch_seq = head.arch_seq;
+
+        if self.cfg.train_point == TrainPoint::Commit {
+            self.predictor.train_violation(&Violation {
+                load_pc,
+                store_pc: v.store_pc,
+                store_distance: v.store_distance,
+                history_len: v.history_len,
+                history: &self.commit_hist,
+                load_token,
+                store_token: v.store_token,
+                prior,
+            });
+        }
+
+        // Squash everything, including the load itself, and restore the
+        // speculative front-end state to just before the load's fetch.
+        self.squash_from(load_token, Redirect::At((block, index)));
+        self.spec_hist.restore(hist_cp);
+        self.ras.restore(ras_cp);
+        self.cond_ghr = ghr;
+        self.path_ghr = path_ghr;
+        self.next_arch_seq = arch_seq;
+        self.last_commit_cycle = self.cycle; // forward progress: re-execution
+    }
+
+    fn commit_one(&mut self) {
+        let u = self.rob.pop_front().expect("head exists");
+        self.rob_head_token += 1;
+        self.stats.committed += 1;
+        self.last_commit_cycle = self.cycle;
+        if let Some(log) = &mut self.commit_log {
+            log.push(CommitRecord {
+                arch_seq: u.arch_seq,
+                pc: u.pc,
+                dst_value: u.dst.and(u.result),
+                eff_addr: u.addr,
+            });
+        }
+
+        // Architectural register update + RAT release.
+        if let Some(dst) = u.dst {
+            if let Some(r) = u.result {
+                self.arch_regs[dst.index()] = r;
+            }
+            if self.rat[dst.index()] == Some(u.token) {
+                self.rat[dst.index()] = None;
+            }
+        }
+
+        match u.class {
+            ExecClass::Store => {
+                self.stats.committed_stores += 1;
+                let addr = u.addr.expect("store executed");
+                let data = u.store_data.expect("store executed");
+                let size = match u.mem_size {
+                    1 => MemSize::B1,
+                    2 => MemSize::B2,
+                    4 => MemSize::B4,
+                    _ => MemSize::B8,
+                };
+                self.memory_state.write(addr, size, data);
+                debug_assert_eq!(self.sq_tokens.first(), Some(&u.token));
+                self.sq_tokens.remove(0);
+                // The store occupies its SQ/SB slot until written to L1D.
+                let done = self.mem.access(AccessKind::Store, u.pc, addr, self.cycle);
+                self.sb_drains.push_back(done);
+            }
+            ExecClass::Load => {
+                self.stats.committed_loads += 1;
+                self.lq_count -= 1;
+                debug_assert_eq!(
+                    self.commit_hist.count(),
+                    u.div_count,
+                    "commit-time history must align with the load's decode counter"
+                );
+                if u.forward_source.is_some() {
+                    self.stats.forwarded_loads += 1;
+                }
+                let waited_correct = match &u.wait {
+                    WaitSpec::None => false,
+                    WaitSpec::One(t) => u.forward_source == Some(*t),
+                    WaitSpec::Many(ts) => u.forward_source.is_some_and(|f| ts.contains(&f)),
+                    WaitSpec::AllOlder => u.forward_source.is_some(),
+                };
+                if u.wait != WaitSpec::None && u.mdp_delayed && !waited_correct {
+                    self.stats.false_dependences += 1;
+                }
+                if u.mdp_delayed {
+                    self.stats.mdp_stalled_loads += 1;
+                }
+                self.predictor.load_committed(&LoadCommit {
+                    pc: u.pc,
+                    prediction: u.prediction,
+                    actual_distance: u.forward_distance,
+                    waited_correct,
+                    history: &self.commit_hist,
+                });
+            }
+            ExecClass::Branch => {
+                let inst = self.program.inst(u.block, u.index);
+                if matches!(inst.op, Op::CondBranch { .. }) {
+                    self.stats.committed_cond_branches += 1;
+                    if u.was_mispredicted {
+                        self.stats.branch_mispredicts += 1;
+                    }
+                } else if u.was_mispredicted {
+                    self.stats.indirect_mispredicts += 1;
+                }
+                if let Some(ev) = u.actual_event {
+                    self.commit_hist.push(ev);
+                }
+                if matches!(inst.op, Op::Ret) && u.actual_next.is_none() {
+                    panic!("committed Ret with corrupt target at pc {:#x}", u.pc);
+                }
+            }
+            _ => {}
+        }
+
+        if u.is_halt {
+            self.halted = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback / resolution
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        let mut i = 0;
+        while i < self.rob.len() {
+            if self.rob[i].issued && !self.rob[i].completed && self.rob[i].complete_at <= self.cycle
+            {
+                self.rob[i].completed = true;
+                match self.rob[i].class {
+                    ExecClass::Branch => {
+                        let squashed = self.resolve_branch(i);
+                        if squashed {
+                            // Everything younger is gone; `i` stays valid.
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    ExecClass::Store => self.store_search_lq(i),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Resolves a completed branch; returns true if it squashed.
+    fn resolve_branch(&mut self, i: usize) -> bool {
+        let u = &self.rob[i];
+        let token = u.token;
+        let pc = u.pc;
+        let inst = self.program.inst(u.block, u.index);
+        let (predicted_next, actual_next) = (u.predicted_next, u.actual_next);
+        let (ghr, actual_taken) = (u.ghr_at_fetch, u.actual_taken);
+        let path_ghr = u.path_ghr_at_fetch;
+        let (hist_cp, ras_cp) = (u.hist_cp, u.ras_cp);
+        let actual_event = u.actual_event;
+        let arch_seq = u.arch_seq;
+
+        // Train the direction / target predictors at resolution.
+        match &inst.op {
+            Op::CondBranch { .. } => self.direction.update(pc, ghr, actual_taken),
+            Op::IndirectJump(_) | Op::Ret => {
+                if let Some((b, _)) = actual_next {
+                    self.indirect.update(pc, path_ghr, b);
+                }
+            }
+            _ => {}
+        }
+
+        if predicted_next == actual_next {
+            return false;
+        }
+        self.rob[i].was_mispredicted = true;
+
+        // Eager squash of everything younger; restore speculative state to
+        // just after this branch with its *actual* outcome applied.
+        let redirect = match actual_next {
+            Some(next) => Redirect::At(next),
+            None => Redirect::Stalled, // corrupt wrong-path Ret
+        };
+        self.squash_from(token + 1, redirect);
+        self.spec_hist.restore(hist_cp);
+        self.ras.restore(ras_cp);
+        self.cond_ghr = ghr;
+        self.path_ghr = path_ghr;
+        match &inst.op {
+            Op::CondBranch { .. } => {
+                self.cond_ghr = (ghr << 1) | u128::from(actual_taken);
+                self.path_ghr = (path_ghr << 1) | u128::from(actual_taken);
+                if let Some(ev) = actual_event {
+                    self.spec_hist.push(ev);
+                }
+            }
+            Op::IndirectJump(_) | Op::Ret => {
+                if matches!(inst.op, Op::Ret) {
+                    let _ = self.ras.pop();
+                }
+                if let Some(ev) = actual_event {
+                    self.path_ghr = (path_ghr << 5) | u128::from(ev.target & 0x1f);
+                    self.spec_hist.push(ev);
+                }
+            }
+            Op::Call(_) => {
+                // Direct calls cannot mispredict.
+                unreachable!("direct call mispredicted");
+            }
+            _ => {}
+        }
+        self.next_arch_seq = arch_seq + 1;
+        true
+    }
+
+    /// A store has resolved its address: search the LQ for younger,
+    /// already-executed loads that overlap (the memory-order check).
+    fn store_search_lq(&mut self, store_i: usize) {
+        let s = &self.rob[store_i];
+        let store_token = s.token;
+        let store_pc = s.pc;
+        let store_addr = s.addr.expect("store executed");
+        let store_size = s.mem_size;
+        let store_div_count = s.div_count;
+
+        self.predictor.store_executed(store_pc, store_token);
+
+        let mut violations: Vec<usize> = Vec::new();
+        for (j, l) in self.rob.iter().enumerate().skip(store_i + 1) {
+            if l.class != ExecClass::Load || !l.issued {
+                continue;
+            }
+            let Some(laddr) = l.addr else { continue };
+            if !ranges_overlap(laddr, l.mem_size, store_addr, store_size) {
+                continue;
+            }
+            // §IV-A1 forwarding filter (Fig. 3c): if the load's data came
+            // from a store *younger* than this one, the load is correct.
+            if self.cfg.forwarding_filter {
+                if let Some(f) = l.forward_source {
+                    if f > store_token {
+                        self.stats.filtered_violations += 1;
+                        continue;
+                    }
+                }
+            }
+            if l.forward_source == Some(store_token) {
+                continue; // already got this store's data
+            }
+            violations.push(j);
+        }
+
+        let eager = self.cfg.mem_squash == MemSquashPolicy::Eager;
+        for j in violations {
+            if eager && j >= self.rob.len() {
+                break; // an earlier eager squash removed the rest
+            }
+            let (load_pc, load_token, load_div, prior) = {
+                let l = &self.rob[j];
+                (l.pc, l.token, l.div_count, l.prediction)
+            };
+            let store_distance = self
+                .sq_tokens
+                .iter()
+                .filter(|&&t| t > store_token && t < load_token)
+                .count() as u32;
+            // N: divergent branches between the store and the load. The
+            // paper's predictors collect N+1 history entries (the extra
+            // one is the divergent branch previous to the store).
+            let history_len = (load_div - store_div_count) as u32;
+            let keep = match self.rob[j].violation {
+                Some(existing) => store_token > existing.store_token,
+                None => true,
+            };
+            if keep {
+                self.rob[j].violation =
+                    Some(PendingViolation { store_pc, store_token, store_distance, history_len });
+                if self.cfg.train_point == TrainPoint::Detect || eager {
+                    // Train with the load's decode-time history by
+                    // temporarily rewinding the speculative register.
+                    let saved = self.spec_hist.checkpoint();
+                    self.spec_hist.restore(self.rob[j].hist_cp);
+                    self.predictor.train_violation(&Violation {
+                        load_pc,
+                        store_pc,
+                        store_distance,
+                        history_len,
+                        history: &self.spec_hist,
+                        load_token,
+                        store_token,
+                        prior,
+                    });
+                    self.spec_hist.restore(saved);
+                }
+                if eager {
+                    // Immediate recovery: squash from the load (inclusive)
+                    // and re-fetch it. Younger flagged loads vanish with it.
+                    self.stats.violations += 1;
+                    let l = &self.rob[j];
+                    let (block, index) = (l.block, l.index);
+                    let (hist_cp, ras_cp, ghr, pghr, arch_seq) =
+                        (l.hist_cp, l.ras_cp, l.ghr_at_fetch, l.path_ghr_at_fetch, l.arch_seq);
+                    self.squash_from(load_token, Redirect::At((block, index)));
+                    self.spec_hist.restore(hist_cp);
+                    self.ras.restore(ras_cp);
+                    self.cond_ghr = ghr;
+                    self.path_ghr = pghr;
+                    self.next_arch_seq = arch_seq;
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn wait_satisfied(&self, i: usize) -> bool {
+        let u = &self.rob[i];
+        match &u.wait {
+            WaitSpec::None => true,
+            WaitSpec::One(t) => self.store_done(*t),
+            WaitSpec::Many(ts) => ts.iter().all(|&t| self.store_done(t)),
+            WaitSpec::AllOlder => {
+                let token = u.token;
+                self.sq_tokens.iter().take_while(|&&t| t < token).all(|&t| self.store_done(t))
+            }
+        }
+    }
+
+    fn operand_ready(&self, producer: Option<u64>) -> bool {
+        match producer {
+            None => true,
+            Some(t) => t < self.rob_head_token || self.uop(t).completed,
+        }
+    }
+
+    fn operand_value(&self, producer: Option<u64>, reg: Option<Reg>) -> u64 {
+        let Some(r) = reg else { return 0 };
+        if r.is_zero() {
+            return 0;
+        }
+        match producer {
+            Some(t) if t >= self.rob_head_token => {
+                self.uop(t).result.expect("completed producer has a result")
+            }
+            _ => self.arch_regs[r.index()],
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut int_ports = self.cfg.ports.int;
+        let mut fp_ports = self.cfg.ports.fp;
+        let mut load_ports = self.cfg.ports.load;
+        let mut store_ports = self.cfg.ports.store;
+        let mut branch_ports = self.cfg.ports.branch;
+
+        for i in 0..self.rob.len() {
+            let u = &self.rob[i];
+            if u.issued || self.cycle < u.issue_ready_at {
+                continue;
+            }
+            let port = match u.class {
+                ExecClass::IntAlu | ExecClass::IntMul | ExecClass::IntDiv => &mut int_ports,
+                ExecClass::Fp => &mut fp_ports,
+                ExecClass::Load => &mut load_ports,
+                ExecClass::Store => &mut store_ports,
+                ExecClass::Branch => &mut branch_ports,
+            };
+            if *port == 0 {
+                continue;
+            }
+            if !(self.operand_ready(u.src_producers[0]) && self.operand_ready(u.src_producers[1]))
+            {
+                continue;
+            }
+            if !self.wait_satisfied(i) {
+                // Operands are ready but the dependence prediction holds
+                // the access back: an MDP-induced delay.
+                self.rob[i].mdp_delayed = true;
+                continue;
+            }
+            let port = match self.rob[i].class {
+                ExecClass::IntAlu | ExecClass::IntMul | ExecClass::IntDiv => &mut int_ports,
+                ExecClass::Fp => &mut fp_ports,
+                ExecClass::Load => &mut load_ports,
+                ExecClass::Store => &mut store_ports,
+                ExecClass::Branch => &mut branch_ports,
+            };
+            *port -= 1;
+            self.execute_at_issue(i);
+            self.rob[i].issued = true;
+            self.unissued -= 1;
+        }
+    }
+
+    /// Computes the uop's result (value-accurate) and completion time.
+    fn execute_at_issue(&mut self, i: usize) {
+        let u = &self.rob[i];
+        let inst: &Inst = self.program.inst(u.block, u.index);
+        let lhs = self.operand_value(u.src_producers[0], u.srcs[0]);
+        let rhs = match u.srcs[1] {
+            Some(_) => self.operand_value(u.src_producers[1], u.srcs[1]),
+            None => u.imm as u64,
+        };
+        let latency = u64::from(u.class.latency());
+        let token = u.token;
+        let pc = u.pc;
+        let imm = u.imm;
+
+        let mut result = None;
+        let mut complete_at = self.cycle + latency;
+        let mut addr = None;
+        let mut store_data = None;
+        let mut actual_next = None;
+        let mut actual_event = None;
+        let mut actual_taken = false;
+        let mut forward_source = None;
+        let mut forward_distance = None;
+        let mut fully_forwarded = false;
+
+        let seq_next = self.sequential_next(u.block, u.index);
+
+        match &inst.op {
+            Op::Load(size) => {
+                let a = lhs.wrapping_add(imm as u64);
+                let (value, fsrc, full) = self.speculative_load(token, a, size.bytes());
+                result = Some(value);
+                addr = Some(a);
+                forward_source = fsrc;
+                fully_forwarded = full;
+                forward_distance = fsrc.map(|f| {
+                    self.sq_tokens.iter().filter(|&&t| t > f && t < token).count() as u32
+                });
+                let done = self.mem.access(AccessKind::Load, pc, a, self.cycle);
+                let l1d_hit = self.cycle + self.cfg.memory.l1d.hit_latency;
+                complete_at = if full { l1d_hit } else { done };
+            }
+            Op::Store(size) => {
+                addr = Some(lhs.wrapping_add(imm as u64));
+                store_data = Some(size.truncate(rhs));
+                complete_at = self.cycle + 1;
+            }
+            Op::CondBranch { kind, taken } => {
+                actual_taken = kind.eval(lhs, rhs);
+                let dest = if actual_taken {
+                    Some((*taken, 0))
+                } else {
+                    seq_next
+                };
+                actual_next = dest;
+                let target = dest.map_or(0, |(b, idx)| self.program.pc(b, idx));
+                actual_event =
+                    Some(DivergentEvent { indirect: false, taken: actual_taken, target });
+            }
+            Op::Jump(t) => actual_next = Some((*t, 0)),
+            Op::IndirectJump(ts) => {
+                let t = ts[(lhs as usize) % ts.len()];
+                actual_next = Some((t, 0));
+                actual_event = Some(DivergentEvent {
+                    indirect: true,
+                    taken: true,
+                    target: self.program.block_pc(t),
+                });
+                actual_taken = true;
+            }
+            Op::Call(_t) => {
+                let ret_to = seq_next.map(|(b, _)| b).expect("call has fallthrough");
+                result = Some(u64::from(ret_to.0));
+                actual_next = Some((self.call_target(inst), 0));
+            }
+            Op::Ret => {
+                if lhs < self.program.num_blocks() as u64 {
+                    let t = BlockId(lhs as u32);
+                    actual_next = Some((t, 0));
+                    actual_event = Some(DivergentEvent {
+                        indirect: true,
+                        taken: true,
+                        target: self.program.block_pc(t),
+                    });
+                } else {
+                    // Corrupt (wrong-path) return target.
+                    actual_next = None;
+                    actual_event =
+                        Some(DivergentEvent { indirect: true, taken: true, target: lhs });
+                }
+                actual_taken = true;
+            }
+            Op::Halt => {}
+            op => result = compute_value(op, lhs, rhs),
+        }
+
+        let u = &mut self.rob[i];
+        u.result = result;
+        u.complete_at = complete_at;
+        u.addr = addr;
+        u.store_data = store_data;
+        u.actual_next = actual_next;
+        u.actual_event = actual_event;
+        u.actual_taken = actual_taken;
+        u.forward_source = forward_source;
+        u.forward_distance = forward_distance;
+        u.fully_forwarded = fully_forwarded;
+    }
+
+    fn call_target(&self, inst: &Inst) -> BlockId {
+        match inst.op {
+            Op::Call(t) => t,
+            _ => unreachable!("call_target on non-call"),
+        }
+    }
+
+    /// Byte-accurate speculative load: each byte comes from the youngest
+    /// older *executed* store in the SQ that wrote it, falling back to
+    /// committed memory. Returns `(value, youngest forwarding store,
+    /// fully_forwarded)`.
+    fn speculative_load(&self, load_token: u64, addr: u64, bytes: u64) -> (u64, Option<u64>, bool) {
+        let mut value = 0u64;
+        let mut forward: Option<u64> = None;
+        let mut all_forwarded = true;
+        for b in 0..bytes {
+            let byte_addr = addr.wrapping_add(b);
+            let mut byte: Option<(u64, u8)> = None; // (store token, data)
+            for s in self.rob.iter() {
+                if s.token >= load_token {
+                    break;
+                }
+                if s.class != ExecClass::Store || !s.issued {
+                    continue;
+                }
+                let Some(saddr) = s.addr else { continue };
+                if ranges_overlap(byte_addr, 1, saddr, s.mem_size) {
+                    let offset = byte_addr.wrapping_sub(saddr);
+                    let data = (s.store_data.expect("issued store") >> (8 * offset)) as u8;
+                    match byte {
+                        Some((t, _)) if t > s.token => {}
+                        _ => byte = Some((s.token, data)),
+                    }
+                }
+            }
+            match byte {
+                Some((t, d)) => {
+                    value |= u64::from(d) << (8 * b);
+                    forward = Some(forward.map_or(t, |f: u64| f.max(t)));
+                }
+                None => {
+                    all_forwarded = false;
+                    value |= u64::from(self.memory_state.read_byte(byte_addr)) << (8 * b);
+                }
+            }
+        }
+        (value, forward, all_forwarded && bytes > 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch / rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn sequential_next(&self, block: BlockId, index: usize) -> Option<(BlockId, usize)> {
+        let bb = self.program.block(block);
+        if index + 1 < bb.insts.len() {
+            Some((block, index + 1))
+        } else {
+            bb.fallthrough.map(|f| (f, 0))
+        }
+    }
+
+    fn fetch(&mut self) {
+        if self.halt_fetched || self.cycle < self.fetch_stalled_until {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            let Some((block, index)) = self.cursor else { return };
+            let inst = self.program.inst(block, index);
+
+            // Structural resources.
+            if self.rob.len() >= self.cfg.rob_size || self.unissued >= self.cfg.iq_size {
+                return;
+            }
+            if inst.op.is_load() && self.lq_count >= self.cfg.lq_size {
+                return;
+            }
+            if inst.op.is_store()
+                && self.sq_tokens.len() + self.sb_drains.len() >= self.cfg.sq_size
+            {
+                return;
+            }
+
+            // Instruction cache.
+            let pc = self.program.pc(block, index);
+            let line = line_of(pc);
+            if self.cur_fetch_line != Some(line) {
+                let done = self.mem.access(AccessKind::Fetch, pc, pc, self.cycle);
+                self.cur_fetch_line = Some(line);
+                let hit = self.cycle + self.cfg.memory.l1i.hit_latency;
+                if done > hit {
+                    self.fetch_stalled_until = done;
+                    return;
+                }
+            }
+
+            let redirected = self.fetch_one(block, index, inst.clone());
+            if redirected || self.halt_fetched {
+                return; // taken control flow ends the fetch group
+            }
+        }
+    }
+
+    /// Fetches, renames and dispatches one instruction. Returns true if
+    /// the fetch group must end (taken control transfer).
+    fn fetch_one(&mut self, block: BlockId, index: usize, inst: Inst) -> bool {
+        let pc = self.program.pc(block, index);
+        let token = self.next_token;
+        self.next_token += 1;
+        let arch_seq = self.next_arch_seq;
+        self.next_arch_seq += 1;
+
+        let hist_cp = self.spec_hist.checkpoint();
+        let ras_cp = self.ras.checkpoint();
+        let ghr_at_fetch = self.cond_ghr;
+        let path_ghr_at_fetch = self.path_ghr;
+        let div_count = self.spec_hist.count();
+
+        let seq_next = self.sequential_next(block, index);
+        let mut predicted_next = seq_next;
+
+        match &inst.op {
+            Op::CondBranch { taken, .. } => {
+                let t = self.direction.predict(pc, self.cond_ghr);
+                let dest = if t { Some((*taken, 0)) } else { seq_next };
+                let target = dest.map_or(0, |(b, i)| self.program.pc(b, i));
+                self.spec_hist.push(DivergentEvent { indirect: false, taken: t, target });
+                self.cond_ghr = (self.cond_ghr << 1) | u128::from(t);
+                self.path_ghr = (self.path_ghr << 1) | u128::from(t);
+                predicted_next = dest;
+            }
+            Op::Jump(t) => predicted_next = Some((*t, 0)),
+            Op::Call(t) => {
+                let ret_to = seq_next.map(|(b, _)| b).expect("call has fallthrough");
+                self.ras.push(ret_to);
+                predicted_next = Some((*t, 0));
+            }
+            Op::Ret => {
+                let pred = self.ras.pop().unwrap_or(BlockId(0));
+                let target = self.program.block_pc(pred);
+                self.spec_hist.push(DivergentEvent { indirect: true, taken: true, target });
+                self.path_ghr = (self.path_ghr << 5) | u128::from(target & 0x1f);
+                predicted_next = Some((pred, 0));
+            }
+            Op::IndirectJump(ts) => {
+                let pred = self.indirect.predict(pc, self.path_ghr).unwrap_or(ts[0]);
+                let target = self.program.block_pc(pred);
+                self.spec_hist.push(DivergentEvent { indirect: true, taken: true, target });
+                self.path_ghr = (self.path_ghr << 5) | u128::from(target & 0x1f);
+                predicted_next = Some((pred, 0));
+            }
+            Op::Halt => {
+                self.halt_fetched = true;
+                predicted_next = None;
+            }
+            _ => {}
+        }
+
+        // Rename.
+        let mut src_producers = [None, None];
+        for (k, sr) in [inst.src1, inst.src2].into_iter().enumerate() {
+            if let Some(r) = sr {
+                if !r.is_zero() {
+                    src_producers[k] = self.rat[r.index()];
+                }
+            }
+        }
+        let prev_rat = inst.dst.and_then(|d| {
+            let prev = self.rat[d.index()];
+            self.rat[d.index()] = Some(token);
+            prev
+        });
+
+        // Memory dependence prediction hooks, in program order.
+        let mut prediction = PredictionOutcome::none();
+        let mut wait = WaitSpec::None;
+        if inst.op.is_load() {
+            let q = LoadQuery {
+                pc,
+                token,
+                history: &self.spec_hist,
+                arch_seq,
+                older_stores: self.sq_tokens.len() as u32,
+            };
+            prediction = self.predictor.predict_load(&q);
+            wait = self.resolve_wait(prediction.dep);
+            self.lq_count += 1;
+        } else if inst.op.is_store() {
+            let dep = self
+                .predictor
+                .store_dispatched(&StoreQuery { pc, token, history: &self.spec_hist });
+            if let Some(t) = dep {
+                // Guard against stale predictor tokens (reused after a
+                // squash): only wait on a live, older, in-flight store.
+                if t < token && self.sq_tokens.contains(&t) && !self.store_done(t) {
+                    wait = WaitSpec::One(t);
+                }
+            }
+            self.sq_tokens.push(token);
+        }
+
+        let mem_size = match inst.op {
+            Op::Load(s) | Op::Store(s) => s.bytes(),
+            _ => 0,
+        };
+
+        let uop = Uop {
+            token,
+            arch_seq,
+            block,
+            index,
+            pc,
+            class: inst.class(),
+            dst: inst.dst,
+            srcs: [inst.src1, inst.src2],
+            src_producers,
+            imm: inst.imm,
+            is_halt: matches!(inst.op, Op::Halt),
+            issue_ready_at: self.cycle + u64::from(self.cfg.frontend_latency),
+            issued: false,
+            complete_at: u64::MAX,
+            completed: false,
+            result: None,
+            prev_rat,
+            hist_cp,
+            ras_cp,
+            ghr_at_fetch,
+            path_ghr_at_fetch,
+            div_count,
+            predicted_next,
+            actual_next: None,
+            actual_event: None,
+            actual_taken: false,
+            was_mispredicted: false,
+            mem_size,
+            addr: None,
+            store_data: None,
+            forward_source: None,
+            forward_distance: None,
+            fully_forwarded: false,
+            violation: None,
+            prediction,
+            wait,
+            mdp_delayed: false,
+        };
+        self.rob.push_back(uop);
+        self.unissued += 1;
+        self.cursor = predicted_next;
+
+        predicted_next != seq_next
+    }
+
+    /// Maps a [`DepPrediction`] to the concrete store tokens to wait for,
+    /// given the current speculative SQ contents.
+    fn resolve_wait(&self, dep: DepPrediction) -> WaitSpec {
+        let n = self.sq_tokens.len();
+        let by_distance = |d: u32| -> Option<u64> {
+            let d = d as usize;
+            (d < n).then(|| self.sq_tokens[n - 1 - d])
+        };
+        match dep {
+            DepPrediction::None => WaitSpec::None,
+            DepPrediction::Distance(d) => match by_distance(d) {
+                Some(t) if !self.store_done(t) => WaitSpec::One(t),
+                _ => WaitSpec::None,
+            },
+            DepPrediction::StoreToken(t) => {
+                if t >= self.rob_head_token && self.sq_tokens.contains(&t) && !self.store_done(t) {
+                    WaitSpec::One(t)
+                } else {
+                    WaitSpec::None
+                }
+            }
+            DepPrediction::DistanceMask(mask) => {
+                let mut ts = Vec::new();
+                for d in 0..128u32 {
+                    if mask & (1u128 << d) != 0 {
+                        if let Some(t) = by_distance(d) {
+                            if !self.store_done(t) {
+                                ts.push(t);
+                            }
+                        }
+                    }
+                }
+                if ts.is_empty() {
+                    WaitSpec::None
+                } else {
+                    WaitSpec::Many(ts)
+                }
+            }
+            DepPrediction::AllOlder => {
+                if n == 0 {
+                    WaitSpec::None
+                } else {
+                    WaitSpec::AllOlder
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Removes every uop with `token >= boundary` from the pipeline,
+    /// unwinding the RAT, and redirects fetch.
+    fn squash_from(&mut self, boundary: u64, redirect: Redirect) {
+        while let Some(u) = self.rob.back() {
+            if u.token < boundary {
+                break;
+            }
+            let u = self.rob.pop_back().expect("non-empty");
+            if let Some(d) = u.dst {
+                self.rat[d.index()] = u.prev_rat;
+            }
+            self.stats.squashed_uops += 1;
+        }
+        // Tokens index the ROB (token - head == position), so the next
+        // token restarts at the squash boundary to keep the range dense.
+        self.next_token = boundary.max(self.rob_head_token);
+        // Derived occupancy counters.
+        self.unissued = self.rob.iter().filter(|u| !u.issued).count();
+        self.lq_count = self.rob.iter().filter(|u| u.class == ExecClass::Load).count();
+        self.sq_tokens.retain(|&t| t < boundary);
+        self.halt_fetched = false;
+
+        match redirect {
+            Redirect::At(target) => {
+                self.cursor = Some(target);
+                self.fetch_stalled_until = self.cycle + u64::from(self.cfg.redirect_penalty) + 1;
+                self.cur_fetch_line = None;
+            }
+            Redirect::Stalled => {
+                self.cursor = None;
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Convenience entry points for running simulations.
+
+use crate::config::CoreConfig;
+use crate::core::Core;
+use crate::stats::SimStats;
+use phast_branch::{DirectionPredictor, Tage, TageConfig};
+use phast_isa::Program;
+use phast_mdp::MemDepPredictor;
+
+/// Default instruction budget used by the experiment harness.
+pub const DEFAULT_MAX_INSTS: u64 = 1_000_000;
+
+/// Simulates `program` on a core described by `cfg`, using `predictor` for
+/// memory dependence prediction and a TAGE conditional branch predictor,
+/// until `max_insts` commit or the program halts.
+pub fn simulate(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    max_insts: u64,
+) -> SimStats {
+    simulate_with_direction(
+        program,
+        cfg,
+        predictor,
+        Box::new(Tage::new(TageConfig::default())),
+        max_insts,
+    )
+}
+
+/// Like [`simulate`] but with an explicit conditional-direction predictor
+/// (the Fig. 1 trend study sweeps these).
+pub fn simulate_with_direction(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    direction: Box<dyn DirectionPredictor>,
+    max_insts: u64,
+) -> SimStats {
+    let mut core = Core::new(program, cfg.clone(), predictor, direction);
+    // Generous cycle ceiling: even IPC 0.05 finishes within it.
+    let max_cycles = max_insts.saturating_mul(20).max(1_000_000);
+    core.run(max_insts, max_cycles)
+}

@@ -1,0 +1,116 @@
+//! Simulation statistics and the paper's derived metrics.
+
+use phast_mdp::AccessStats;
+use phast_mem::HierarchyStats;
+
+/// Everything measured during one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub committed_loads: u64,
+    /// Stores committed.
+    pub committed_stores: u64,
+    /// Conditional branches committed.
+    pub committed_cond_branches: u64,
+    /// Conditional-branch mispredictions (resolved on the committed path).
+    pub branch_mispredicts: u64,
+    /// Indirect-target mispredictions (indirect jumps and returns).
+    pub indirect_mispredicts: u64,
+    /// Memory-order violations squashed at commit (MDP false negatives).
+    pub violations: u64,
+    /// Committed loads delayed by a dependence prediction that did not
+    /// forward from the awaited store (MDP false positives).
+    pub false_dependences: u64,
+    /// Loads that received at least one byte by store-to-load forwarding.
+    pub forwarded_loads: u64,
+    /// Squashes suppressed by the §IV-A1 forwarding filter.
+    pub filtered_violations: u64,
+    /// Total instructions discarded by squashes (wrong-path work).
+    pub squashed_uops: u64,
+    /// Loads whose issue was delayed by an MDP prediction.
+    pub mdp_stalled_loads: u64,
+    /// Predictor table traffic.
+    pub predictor_accesses: AccessStats,
+    /// Memory hierarchy statistics.
+    pub memory: HierarchyStats,
+    /// True if the program ran to its `Halt` before any budget expired.
+    pub halted: bool,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Memory-order-violation mispredictions per kilo-instruction
+    /// (the paper's false-negative MPKI, red markers in Fig. 1/14).
+    pub fn violation_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            1000.0 * self.violations as f64 / self.committed as f64
+        }
+    }
+
+    /// False-dependence mispredictions per kilo-instruction
+    /// (the paper's false-positive MPKI, green markers in Fig. 1/14).
+    pub fn false_dep_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            1000.0 * self.false_dependences as f64 / self.committed as f64
+        }
+    }
+
+    /// Total MDP MPKI (violations + false dependences).
+    pub fn total_mpki(&self) -> f64 {
+        self.violation_mpki() + self.false_dep_mpki()
+    }
+
+    /// Conditional-branch mispredictions per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            1000.0 * self.branch_mispredicts as f64 / self.committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 1000,
+            committed: 4000,
+            violations: 8,
+            false_dependences: 4,
+            branch_mispredicts: 40,
+            ..SimStats::default()
+        };
+        assert_eq!(s.ipc(), 4.0);
+        assert_eq!(s.violation_mpki(), 2.0);
+        assert_eq!(s.false_dep_mpki(), 1.0);
+        assert_eq!(s.total_mpki(), 3.0);
+        assert_eq!(s.branch_mpki(), 10.0);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.total_mpki(), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! `Core::run` must be resumable: running to a budget in chunks (as the
+//! `phast-trace` tool does) must produce exactly the same state as one
+//! uninterrupted run.
+
+use phast_branch::{Tage, TageConfig};
+use phast_mdp::BlindSpeculation;
+use phast_ooo::{Core, CoreConfig};
+
+#[test]
+fn chunked_and_oneshot_runs_agree() {
+    let w = phast_workloads::by_name("gcc_2").unwrap();
+    let p = w.build(300_000);
+
+    let mut pred1 = BlindSpeculation;
+    let mut oneshot =
+        Core::new(&p, CoreConfig::alder_lake(), &mut pred1, Box::new(Tage::new(TageConfig::default())));
+    let s1 = oneshot.run(50_000, u64::MAX);
+
+    let mut pred2 = BlindSpeculation;
+    let mut chunked =
+        Core::new(&p, CoreConfig::alder_lake(), &mut pred2, Box::new(Tage::new(TageConfig::default())));
+    let mut s2 = phast_ooo::SimStats::default();
+    for target in [10_000u64, 20_000, 30_000, 40_000, 50_000] {
+        s2 = chunked.run(target, u64::MAX);
+    }
+
+    assert_eq!(s1.committed, s2.committed);
+    assert_eq!(s1.cycles, s2.cycles, "cycle-exact resumability");
+    assert_eq!(s1.violations, s2.violations);
+    assert_eq!(s1.false_dependences, s2.false_dependences);
+    assert_eq!(s1.branch_mispredicts, s2.branch_mispredicts);
+    assert_eq!(s1.squashed_uops, s2.squashed_uops);
+}
+
+#[test]
+fn run_past_halt_is_idempotent() {
+    let w = phast_workloads::by_name("exchange2").unwrap();
+    let p = w.build(30); // halts quickly
+    let mut pred = BlindSpeculation;
+    let mut core =
+        Core::new(&p, CoreConfig::alder_lake(), &mut pred, Box::new(Tage::new(TageConfig::default())));
+    let s1 = core.run(1_000_000, u64::MAX);
+    assert!(s1.halted);
+    let s2 = core.run(2_000_000, u64::MAX);
+    assert_eq!(s1.committed, s2.committed, "nothing more to commit after halt");
+    assert_eq!(s1.cycles, s2.cycles);
+}

@@ -1,0 +1,225 @@
+//! Focused tests for pipeline mechanisms: eager squash, structural
+//! hazards (IQ, SQ/SB, ports), and bookkeeping invariants.
+
+use phast_branch::{Tage, TageConfig};
+use phast_isa::{CondKind, Emulator, MemSize, Program, ProgramBuilder, Reg};
+use phast_mdp::BlindSpeculation;
+use phast_ooo::{simulate, Core, CoreConfig, MemSquashPolicy, Ports};
+
+/// Store address resolves late; load overtakes it. One violation per
+/// iteration whichever squash policy is used.
+fn overtaking_loop(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block();
+    let head = b.block();
+    let exit = b.block();
+    b.at(entry).li(Reg(1), 0x1000).li(Reg(2), 1).li(Reg(10), 0).jump(head);
+    b.at(head)
+        .div(Reg(4), Reg(1), Reg(2))
+        .div(Reg(4), Reg(4), Reg(2))
+        .addi(Reg(5), Reg(10), 40)
+        .store(Reg(4), 0, Reg(5), MemSize::B8)
+        .load(Reg(6), Reg(1), 0, MemSize::B8)
+        .add(Reg(7), Reg(7), Reg(6))
+        .addi(Reg(10), Reg(10), 1)
+        .branchi(CondKind::LtU, Reg(10), iters, head)
+        .fallthrough(exit);
+    b.at(exit).halt();
+    b.set_entry(entry);
+    b.build().unwrap()
+}
+
+fn store_parade(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entry = b.block();
+    let head = b.block();
+    let exit = b.block();
+    b.at(entry).li(Reg(1), 0x4_0000).li(Reg(10), 0).jump(head);
+    let mut c = b.at(head);
+    for i in 0..16 {
+        c.store(Reg(1), 8 * i, Reg(10), MemSize::B8);
+    }
+    c.addi(Reg(10), Reg(10), 1)
+        .branchi(CondKind::LtU, Reg(10), iters, head)
+        .fallthrough(exit);
+    b.at(exit).halt();
+    b.set_entry(entry);
+    b.build().unwrap()
+}
+
+#[test]
+fn eager_squash_is_value_correct() {
+    let p = overtaking_loop(200);
+    let mut emu = Emulator::new(&p);
+    let expected = emu.run_collect(1_000_000).unwrap();
+
+    let mut cfg = CoreConfig::alder_lake();
+    cfg.mem_squash = MemSquashPolicy::Eager;
+    let mut pred = BlindSpeculation;
+    let mut core = Core::new(&p, cfg, &mut pred, Box::new(Tage::new(TageConfig::default())));
+    core.enable_commit_log();
+    let stats = core.run(1_000_000, 50_000_000);
+    assert!(stats.halted);
+    assert_eq!(core.commit_log().len(), expected.len());
+    for (got, want) in core.commit_log().iter().zip(&expected) {
+        assert_eq!(got.dst_value, want.dst_value, "value at seq {}", want.seq);
+    }
+    assert!(stats.violations >= 190, "eager mode still counts violations");
+}
+
+#[test]
+fn eager_squash_recovers_faster_than_lazy_here() {
+    // With lazy squash the violating load waits until commit before
+    // re-fetching; eager recovery restarts immediately, so on a loop that
+    // violates every iteration it cannot be slower.
+    let p = overtaking_loop(500);
+    let mut lazy_cfg = CoreConfig::alder_lake();
+    lazy_cfg.mem_squash = MemSquashPolicy::Lazy;
+    let lazy = simulate(&p, &lazy_cfg, &mut BlindSpeculation, 1_000_000);
+    let mut eager_cfg = CoreConfig::alder_lake();
+    eager_cfg.mem_squash = MemSquashPolicy::Eager;
+    let eager = simulate(&p, &eager_cfg, &mut BlindSpeculation, 1_000_000);
+    assert!(lazy.halted && eager.halted);
+    assert!(
+        eager.ipc() >= lazy.ipc() * 0.95,
+        "eager ({:.3}) should not trail lazy ({:.3}) on a violation-dense loop",
+        eager.ipc(),
+        lazy.ipc()
+    );
+}
+
+#[test]
+fn small_store_queue_throttles_store_parades() {
+    let p = store_parade(300);
+    let mut big = CoreConfig::alder_lake();
+    big.sq_size = 114;
+    let mut small = CoreConfig::alder_lake();
+    small.sq_size = 8;
+    let fast = simulate(&p, &big, &mut BlindSpeculation, 200_000);
+    let slow = simulate(&p, &small, &mut BlindSpeculation, 200_000);
+    assert!(
+        fast.ipc() > slow.ipc() * 1.2,
+        "an 8-entry SQ must throttle 16 stores/iteration ({:.3} vs {:.3})",
+        fast.ipc(),
+        slow.ipc()
+    );
+}
+
+#[test]
+fn store_ports_limit_throughput() {
+    let p = store_parade(300);
+    let mut two_ports = CoreConfig::alder_lake();
+    two_ports.ports = Ports { store: 2, ..two_ports.ports };
+    let mut one_port = CoreConfig::alder_lake();
+    one_port.ports = Ports { store: 1, ..one_port.ports };
+    let two = simulate(&p, &two_ports, &mut BlindSpeculation, 200_000);
+    let one = simulate(&p, &one_port, &mut BlindSpeculation, 200_000);
+    assert!(
+        two.ipc() > one.ipc() * 1.2,
+        "16 stores/iteration must scale with store ports ({:.3} vs {:.3})",
+        two.ipc(),
+        one.ipc()
+    );
+}
+
+#[test]
+fn tiny_iq_throttles_ilp() {
+    let p = store_parade(300);
+    let mut big = CoreConfig::alder_lake();
+    big.iq_size = 204;
+    let mut tiny = CoreConfig::alder_lake();
+    tiny.iq_size = 4;
+    let fast = simulate(&p, &big, &mut BlindSpeculation, 100_000);
+    let slow = simulate(&p, &tiny, &mut BlindSpeculation, 100_000);
+    assert!(
+        fast.ipc() > slow.ipc(),
+        "a 4-entry issue window must hurt ({:.3} vs {:.3})",
+        fast.ipc(),
+        slow.ipc()
+    );
+}
+
+#[test]
+fn prefetcher_fills_show_up_on_streaming_code() {
+    let w = phast_workloads::by_name("lbm").unwrap();
+    let p = w.build(200_000);
+    let stats = simulate(&p, &CoreConfig::alder_lake(), &mut BlindSpeculation, 60_000);
+    assert!(
+        stats.memory.l1d.prefetch_fills > 100,
+        "the IP-stride prefetcher must engage on lbm (got {})",
+        stats.memory.l1d.prefetch_fills
+    );
+}
+
+#[test]
+fn commit_log_is_off_by_default() {
+    let p = overtaking_loop(10);
+    let mut pred = BlindSpeculation;
+    let mut core = Core::new(
+        &p,
+        CoreConfig::alder_lake(),
+        &mut pred,
+        Box::new(Tage::new(TageConfig::default())),
+    );
+    let _ = core.run(10_000, 1_000_000);
+    assert!(core.commit_log().is_empty(), "logging must be opt-in");
+}
+
+#[test]
+fn squashed_work_is_accounted() {
+    let p = overtaking_loop(200);
+    let stats = simulate(&p, &CoreConfig::alder_lake(), &mut BlindSpeculation, 200_000);
+    assert!(
+        stats.squashed_uops > stats.violations,
+        "each violation squash discards multiple uops ({} squashed, {} violations)",
+        stats.squashed_uops,
+        stats.violations
+    );
+}
+
+#[test]
+fn branch_stats_populate() {
+    let w = phast_workloads::by_name("gcc_1").unwrap();
+    let p = w.build(100_000);
+    let stats = simulate(&p, &CoreConfig::alder_lake(), &mut BlindSpeculation, 50_000);
+    assert!(stats.committed_cond_branches > 1_000);
+    assert!(stats.branch_mispredicts > 0, "hash-driven selectors must mispredict sometimes");
+    assert!(stats.indirect_mispredicts > 0, "the dispatch farm must miss the last-target table");
+}
+
+#[test]
+fn ittage_front_end_beats_last_target_on_dispatch_code() {
+    use phast_ooo::IndirectPredictorKind;
+    // povray's indirect dispatch cycles through targets with a short
+    // period: ITTAGE learns the pattern, a last-target table cannot.
+    let w = phast_workloads::by_name("povray").unwrap();
+    let p = w.build(300_000);
+    let mut lt_cfg = CoreConfig::alder_lake();
+    lt_cfg.indirect_predictor = IndirectPredictorKind::LastTarget;
+    let lt = simulate(&p, &lt_cfg, &mut BlindSpeculation, 60_000);
+    let mut it_cfg = CoreConfig::alder_lake();
+    it_cfg.indirect_predictor = IndirectPredictorKind::Ittage;
+    let it = simulate(&p, &it_cfg, &mut BlindSpeculation, 60_000);
+    assert!(
+        it.indirect_mispredicts * 2 < lt.indirect_mispredicts,
+        "ITTAGE must at least halve indirect misses ({} vs {})",
+        it.indirect_mispredicts,
+        lt.indirect_mispredicts
+    );
+    // Under blind speculation, deeper correct speculation can *add*
+    // memory-order violations; with a real MDP the front-end win shows.
+    use phast::{Phast, PhastConfig};
+    use phast_ooo::TrainPoint;
+    let mut lt_mdp = lt_cfg.clone();
+    lt_mdp.train_point = TrainPoint::Commit;
+    let mut it_mdp = it_cfg.clone();
+    it_mdp.train_point = TrainPoint::Commit;
+    let lt_ph = simulate(&p, &lt_mdp, &mut Phast::new(PhastConfig::paper()), 60_000);
+    let it_ph = simulate(&p, &it_mdp, &mut Phast::new(PhastConfig::paper()), 60_000);
+    assert!(
+        it_ph.ipc() >= lt_ph.ipc(),
+        "with PHAST the better front end must not cost IPC ({:.3} vs {:.3})",
+        it_ph.ipc(),
+        lt_ph.ipc()
+    );
+}

@@ -1,0 +1,330 @@
+//! The 23 synthetic workloads, each mirroring the memory-dependence
+//! character the paper reports for a SPEC CPU 2017 application.
+
+use crate::gen::{
+    alu_filler, call_save_restore, conditional_dep, data_dependent, dispatch_farm, fp_filler,
+    cross_iteration, indirect_dispatch, long_path, path_dep, path_dep_deep, pointer_chase,
+    serialized_writers, streaming, subword_merge, tight_forward, Scaffold,
+};
+use phast_isa::Program;
+
+/// A named synthetic workload.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Short name (used on every experiment axis, matching the paper's
+    /// application naming style).
+    pub name: &'static str,
+    /// Which mechanism the workload exercises and which SPEC app it
+    /// stands in for.
+    pub description: &'static str,
+    build: fn(u64) -> Program,
+}
+
+impl Workload {
+    /// Builds the workload's program with the given outer-loop iteration
+    /// count. Iterations are sized so typical simulations are bounded by
+    /// the instruction budget, not the loop count.
+    pub fn build(&self, iters: u64) -> Program {
+        (self.build)(iters)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+macro_rules! workload {
+    ($name:literal, $desc:literal, $fn_name:ident) => {
+        Workload { name: $name, description: $desc, build: $fn_name }
+    };
+}
+
+fn perlbench_1(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x5001, iters);
+    let m = s.next_motif();
+    call_save_restore(&mut s.g, m, 0x800);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 0, 1);
+    let m = s.next_motif();
+    let r = s.g.reg();
+    alu_filler(&mut s.g, m.entry, r, 6);
+    s.g.b.at(m.entry).jump(m.exit);
+    s.finish()
+}
+
+fn perlbench_2(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x5002, iters);
+    let m = s.next_motif();
+    call_save_restore(&mut s.g, m, 0x800);
+    let m = s.next_motif();
+    indirect_dispatch(&mut s.g, m, 4, 2);
+    s.finish()
+}
+
+fn perlbench_3(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x5003, iters);
+    let m = s.next_motif();
+    call_save_restore(&mut s.g, m, 0x800);
+    let m = s.next_motif();
+    serialized_writers(&mut s.g, m, 3);
+    let m = s.next_motif();
+    cross_iteration(&mut s.g, m, 8, 1);
+    s.finish()
+}
+
+fn gcc_1(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0221, iters);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 0, 1);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 1, 2);
+    let m = s.next_motif();
+    path_dep_deep(&mut s.g, m, 0, 1, 5, 3);
+    let m = s.next_motif();
+    dispatch_farm(&mut s.g, m, 32, 9);
+    s.finish()
+}
+
+fn gcc_2(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0222, iters);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 0, 2);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 1);
+    let m = s.next_motif();
+    data_dependent(&mut s.g, m, 128);
+    let m = s.next_motif();
+    dispatch_farm(&mut s.g, m, 64, 11);
+    s.finish()
+}
+
+fn gcc_3(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0223, iters);
+    let m = s.next_motif();
+    path_dep_deep(&mut s.g, m, 1, 2, 8, 4);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 1, 1);
+    let m = s.next_motif();
+    dispatch_farm(&mut s.g, m, 16, 13);
+    s.finish()
+}
+
+fn bwaves(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0503, iters);
+    let m = s.next_motif();
+    subword_merge(&mut s.g, m, 2, 6);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 1024, 3, 4);
+    let m = s.next_motif();
+    cross_iteration(&mut s.g, m, 32, 0);
+    s.finish()
+}
+
+fn mcf(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0505, iters);
+    let (ie, ix) = s.init_stage();
+    let m = s.next_motif();
+    pointer_chase(&mut s.g, ie, ix, m, 256);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 2048, 5, 0);
+    s.finish()
+}
+
+fn namd(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0508, iters);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 512, 7, 8);
+    let m = s.next_motif();
+    cross_iteration(&mut s.g, m, 4, 0);
+    s.finish()
+}
+
+fn parest(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0510, iters);
+    let m = s.next_motif();
+    path_dep_deep(&mut s.g, m, 2, 1, 11, 3);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 17);
+    let m = s.next_motif();
+    data_dependent(&mut s.g, m, 256);
+    s.finish()
+}
+
+fn povray(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0511, iters);
+    let m = s.next_motif();
+    indirect_dispatch(&mut s.g, m, 3, 2);
+    let m = s.next_motif();
+    indirect_dispatch(&mut s.g, m, 4, 2);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 0);
+    let m = s.next_motif();
+    let (a, b) = (s.g.reg(), s.g.reg());
+    fp_filler(&mut s.g, m.entry, a, b, 4);
+    s.g.b.at(m.entry).jump(m.exit);
+    s.finish()
+}
+
+fn lbm(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0519, iters);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 4096, 2, 6);
+    s.finish()
+}
+
+fn omnetpp(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0520, iters);
+    let (ie, ix) = s.init_stage();
+    let m = s.next_motif();
+    pointer_chase(&mut s.g, ie, ix, m, 512);
+    let m = s.next_motif();
+    indirect_dispatch(&mut s.g, m, 4, 2);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 2);
+    s.finish()
+}
+
+fn x264(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0525, iters);
+    let m = s.next_motif();
+    subword_merge(&mut s.g, m, 8, 5);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 512, 4, 2);
+    let m = s.next_motif();
+    tight_forward(&mut s.g, m, 1);
+    s.finish()
+}
+
+fn blender(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0526, iters);
+    let m = s.next_motif();
+    indirect_dispatch(&mut s.g, m, 6, 3);
+    let m = s.next_motif();
+    path_dep_deep(&mut s.g, m, 1, 1, 4, 3);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 1024, 3, 4);
+    s.finish()
+}
+
+fn cam4(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0527, iters);
+    let m = s.next_motif();
+    path_dep_deep(&mut s.g, m, 0, 2, 14, 4);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 512, 3, 2);
+    s.finish()
+}
+
+fn deepsjeng(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0531, iters);
+    let m = s.next_motif();
+    data_dependent(&mut s.g, m, 128);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 21);
+    let m = s.next_motif();
+    path_dep_deep(&mut s.g, m, 3, 2, 2, 3);
+    let m = s.next_motif();
+    tight_forward(&mut s.g, m, 2);
+    s.finish()
+}
+
+fn imagick(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0538, iters);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 256, 1, 8);
+    let m = s.next_motif();
+    subword_merge(&mut s.g, m, 4, 6);
+    let m = s.next_motif();
+    cross_iteration(&mut s.g, m, 16, 0);
+    s.finish()
+}
+
+fn leela(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0541, iters);
+    let m = s.next_motif();
+    data_dependent(&mut s.g, m, 64);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 19);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 23);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 1, 1);
+    s.finish()
+}
+
+fn nab(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0544, iters);
+    let m = s.next_motif();
+    data_dependent(&mut s.g, m, 256);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 128, 2, 4);
+    s.finish()
+}
+
+fn exchange2(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0548, iters);
+    let m = s.next_motif();
+    tight_forward(&mut s.g, m, 3);
+    let m = s.next_motif();
+    tight_forward(&mut s.g, m, 1);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 0, 1);
+    s.finish()
+}
+
+fn fotonik3d(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0549, iters);
+    let m = s.next_motif();
+    streaming(&mut s.g, m, 2048, 9, 6);
+    s.finish()
+}
+
+fn xz(iters: u64) -> Program {
+    let mut s = Scaffold::new(0x0557, iters);
+    let (ie, ix) = s.init_stage();
+    let m = s.next_motif();
+    data_dependent(&mut s.g, m, 512);
+    let m = s.next_motif();
+    pointer_chase(&mut s.g, ie, ix, m, 128);
+    let m = s.next_motif();
+    long_path(&mut s.g, m, 7, 3);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 1);
+    s.finish()
+}
+
+/// All 23 workloads, in the order every per-application figure uses.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        workload!("perlbench_1", "register save/restore around calls (500.perlbench)", perlbench_1),
+        workload!("perlbench_2", "save/restore + indirect dispatch (500.perlbench)", perlbench_2),
+        workload!("perlbench_3", "two call sites sharing a stack (500.perlbench)", perlbench_3),
+        workload!("gcc_1", "short path-dependent store distances (502.gcc)", gcc_1),
+        workload!("gcc_2", "path-dependent + data-dependent mix (502.gcc)", gcc_2),
+        workload!("gcc_3", "long repeating paths (502.gcc)", gcc_3),
+        workload!("bwaves", "sub-word pair composing wide loads (503.bwaves)", bwaves),
+        workload!("mcf", "pointer chasing over a linked ring (505.mcf)", mcf),
+        workload!("namd", "FP streaming with tight forwarding (508.namd)", namd),
+        workload!("parest", "12-branch dependence paths (510.parest)", parest),
+        workload!("povray", "indirect branches selecting conflicting stores (511.povray)", povray),
+        workload!("lbm", "pure strided streaming (519.lbm)", lbm),
+        workload!("omnetpp", "pointer chase + virtual dispatch (520.omnetpp)", omnetpp),
+        workload!("x264", "8x1-byte stores under an 8-byte load (525.x264)", x264),
+        workload!("blender", "wide indirect dispatch + streaming (526.blender)", blender),
+        workload!("cam4", "16-branch dependence paths (527.cam4)", cam4),
+        workload!("deepsjeng", "data-dependent occasional conflicts (531.deepsjeng)", deepsjeng),
+        workload!("imagick", "short-lag streaming + sub-word merge (538.imagick)", imagick),
+        workload!("leela", "hash-indexed conflicts no path predicts (541.leela)", leela),
+        workload!("nab", "data-dependent conflicts + streaming (544.nab)", nab),
+        workload!("exchange2", "distance-0 forwarding every iteration (548.exchange2)", exchange2),
+        workload!("fotonik3d", "long-lag streaming, few conflicts (549.fotonik3d)", fotonik3d),
+        workload!("xz", "hash tables + pointer chase (557.xz)", xz),
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}

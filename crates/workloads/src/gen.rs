@@ -1,0 +1,705 @@
+//! Workload generation substrate: a register/region allocator plus a
+//! library of *motifs* — small code patterns that each reproduce one
+//! memory-dependence mechanism the paper attributes to SPEC CPU 2017
+//! applications (see DESIGN.md §3 for the substitution argument).
+//!
+//! A workload is an outer loop whose body strings together motif
+//! instances. Each motif owns private registers and a private memory
+//! region, so dependences arise only where a motif creates them on
+//! purpose.
+
+use phast_isa::{BlockHandle, CondKind, MemSize, ProgramBuilder, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The scaffold's iteration counter register.
+pub const ITER: Reg = Reg(28);
+/// Per-iteration pseudo-random word, recomputed at each loop head.
+pub const HASH: Reg = Reg(27);
+/// Holds the iteration limit the outer loop compares against.
+pub const ITER_LIMIT: Reg = Reg(26);
+
+const FIRST_FREE_REG: u8 = 1;
+const LAST_FREE_REG: u8 = 25;
+
+/// Builder context threaded through motif emitters.
+pub struct Gen {
+    /// The underlying program builder.
+    pub b: ProgramBuilder,
+    rng: SmallRng,
+    next_reg: u8,
+    next_region: u64,
+}
+
+impl Gen {
+    /// Creates a generation context with a deterministic seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            b: ProgramBuilder::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            next_reg: FIRST_FREE_REG,
+            next_region: 0x1_0000,
+        }
+    }
+
+    /// Allocates a private register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the motif mix exhausts the register pool.
+    pub fn reg(&mut self) -> Reg {
+        assert!(self.next_reg <= LAST_FREE_REG, "workload motif mix ran out of registers");
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates a private, disjoint memory region of `bytes`.
+    pub fn region(&mut self, bytes: u64) -> u64 {
+        let base = self.next_region;
+        self.next_region += bytes.next_multiple_of(0x1000);
+        base
+    }
+
+    /// Deterministic random integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Deterministic random bool.
+    pub fn flip(&mut self) -> bool {
+        self.rng.gen()
+    }
+}
+
+/// A motif's code is spliced between `entry` and `exit` blocks that the
+/// scaffold provides; the emitter must route all internal control flow so
+/// execution always reaches `exit`.
+pub struct Splice {
+    /// First block of the motif body (jump here to run it).
+    pub entry: BlockHandle,
+    /// Block the motif jumps to when done.
+    pub exit: BlockHandle,
+}
+
+/// Emits a chain of `n` single-cycle ALU ops on `r` (ILP filler).
+pub fn alu_filler(g: &mut Gen, block: BlockHandle, r: Reg, n: usize) {
+    let mut c = g.b.at(block);
+    for i in 0..n {
+        c.addi(r, r, (i as i64 % 7) + 1);
+    }
+}
+
+/// Emits a chain of `n` FP-latency ops (scheduler pressure).
+pub fn fp_filler(g: &mut Gen, block: BlockHandle, a: Reg, b: Reg, n: usize) {
+    let mut c = g.b.at(block);
+    for _ in 0..n {
+        c.fp(a, a, b);
+    }
+}
+
+/// **Tight forwarding** (548.exchange2-like): every iteration stores to a
+/// slot and immediately loads it back; the store address resolves late
+/// (multiply chain) so blind speculation violates every time. Store
+/// distance 0, no divergent branches in between (PHAST length-1 → the
+/// length-0 table).
+pub fn tight_forward(g: &mut Gen, s: Splice, delay: usize) {
+    let base = g.region(0x100) as i64;
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let mut c = g.b.at(s.entry);
+    // Late-resolving store address: a short multiply chain ending at
+    // `base`. The load uses `fast` so it can overtake the store.
+    c.li(addr, 1);
+    for _ in 0..delay {
+        c.mul(addr, addr, addr); // 1*1*...*1 = 1, but takes 3 cycles each
+    }
+    c.addi(addr, addr, base - 1) // addr = base
+        .li(fast, base)
+        .addi(val, ITER, 13)
+        .store(addr, 0, val, MemSize::B8)
+        .load(dst, fast, 0, MemSize::B8)
+        .add(val, val, dst)
+        .jump(s.exit);
+}
+
+/// **Path-dependent dependence** (502.gcc-like, the paper's Fig. 5): a
+/// divergent branch selects between two store sequences with *different
+/// store distances* to the final load; only path context predicts the
+/// right distance. `selector_bit` picks which bit of `HASH` drives the
+/// branch (low bits repeat quickly and are learnable).
+pub fn path_dep(g: &mut Gen, s: Splice, selector_bit: u32, extra_stores: usize) {
+    let base = g.region(0x400) as i64;
+    let sel = g.reg();
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let left = g.b.block();
+    let right = g.b.block();
+    let join = g.b.block();
+
+    g.b.at(s.entry)
+        .shri(sel, HASH, i64::from(selector_bit))
+        .andi(sel, sel, 1)
+        // The store's address resolves late (multiply chain); the load
+        // below uses `fast`, so it can overtake unless predicted.
+        .li(addr, 1)
+        .mul(addr, addr, addr)
+        .mul(addr, addr, addr)
+        .addi(addr, addr, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 1)
+        .branchi(CondKind::Eq, sel, 1, left)
+        .fallthrough(right);
+    // Left path: the conflicting store is the last store (distance 0).
+    g.b.at(left).store(addr, 0, val, MemSize::B8).jump(join);
+    // Right path: the conflicting store is followed by `extra_stores`
+    // stores to other addresses (distance = extra_stores).
+    {
+        let mut c = g.b.at(right);
+        c.store(addr, 0, val, MemSize::B8);
+        for i in 0..extra_stores {
+            c.store(addr, 64 * (i as i64 + 1), val, MemSize::B8);
+        }
+        c.jump(join);
+    }
+    g.b.at(join).load(dst, fast, 0, MemSize::B8).add(val, val, dst).jump(s.exit);
+}
+
+/// **Indirect dispatch** (511.povray-like, §III-C): one indirect branch
+/// selects among `k` handlers; each handler stores to the shared slot at a
+/// different store distance; a single load follows. PHAST learns each
+/// (path, distance) with a 2-entry history; MDP-TAGE scatters it across
+/// its geometric lengths.
+pub fn indirect_dispatch(g: &mut Gen, s: Splice, k: usize, period_bits: u32) {
+    assert!(k >= 2, "dispatch needs at least two targets");
+    let base = g.region(0x400) as i64;
+    let sel = g.reg();
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let join = g.b.block();
+    let handlers: Vec<BlockHandle> = (0..k).map(|_| g.b.block()).collect();
+
+    g.b.at(s.entry)
+        .andi(sel, ITER, (1 << period_bits) - 1)
+        .li(addr, 1)
+        .mul(addr, addr, addr)
+        .mul(addr, addr, addr)
+        .addi(addr, addr, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 7)
+        .indirect_jump(sel, &handlers);
+    for (i, &h) in handlers.iter().enumerate() {
+        let mut c = g.b.at(h);
+        c.store(addr, 0, val, MemSize::B8);
+        for j in 0..i {
+            c.store(addr, 64 * (j as i64 + 1), val, MemSize::B8);
+        }
+        c.jump(join);
+    }
+    g.b.at(join).load(dst, fast, 0, MemSize::B8).add(val, val, dst).jump(s.exit);
+}
+
+/// **Sub-word merge** (525.x264 / 503.bwaves-like, Fig. 4): `parts`
+/// narrow stores compose a value that one wide load then reads — the rare
+/// multi-store dependence. All stores share the base register (the
+/// paper's in-order proxy). The merge executes only once every
+/// `2^period_bits` iterations: the paper measures multi-store loads as
+/// 0.04% of loads on average (0.25% worst case), so the motif must be
+/// correspondingly rare.
+pub fn subword_merge(g: &mut Gen, s: Splice, parts: u64, period_bits: u32) {
+    assert!(parts == 2 || parts == 4 || parts == 8, "parts must compose an 8-byte load");
+    let base = g.region(0x100) as i64;
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let size = match 8 / parts {
+        1 => MemSize::B1,
+        2 => MemSize::B2,
+        _ => MemSize::B4,
+    };
+    let body = g.b.block();
+    g.b.at(s.entry)
+        .andi(val, ITER, (1i64 << period_bits) - 1)
+        .branchi(CondKind::Ne, val, 0, s.exit)
+        .fallthrough(body);
+    let mut c = g.b.at(body);
+    c.li(addr, 1)
+        .mul(addr, addr, addr)
+        .addi(addr, addr, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 3);
+    for i in 0..parts {
+        c.store(addr, (i * (8 / parts)) as i64, val, size);
+    }
+    c.load(dst, fast, 0, MemSize::B8).add(val, val, dst).jump(s.exit);
+}
+
+/// **Streaming** (519.lbm / 549.fotonik3d-like): strided stores and loads
+/// over a large array with a lag, so loads rarely meet an in-flight store;
+/// cache and prefetcher pressure dominate.
+pub fn streaming(g: &mut Gen, s: Splice, slots: u64, lag: u64, fp_ops: usize) {
+    let base = g.region(slots * 8) as i64;
+    let idx = g.reg();
+    let st_addr = g.reg();
+    let ld_addr = g.reg();
+    let val = g.reg();
+    let acc = g.reg();
+    let mut c = g.b.at(s.entry);
+    c.andi(idx, ITER, slots as i64 - 1)
+        .shli(st_addr, idx, 3)
+        .addi(st_addr, st_addr, base)
+        .addi(val, ITER, 1)
+        .store(st_addr, 0, val, MemSize::B8)
+        // Load lags `lag` slots behind the store stream.
+        .addi(ld_addr, idx, -(lag as i64))
+        .andi(ld_addr, ld_addr, slots as i64 - 1)
+        .shli(ld_addr, ld_addr, 3)
+        .addi(ld_addr, ld_addr, base)
+        .load(acc, ld_addr, 0, MemSize::B8);
+    for _ in 0..fp_ops {
+        c.fp(val, val, acc);
+    }
+    c.jump(s.exit);
+}
+
+/// **Data-dependent conflict** (541.leela / 531.deepsjeng-like): store
+/// and load indices come from independent hashes, colliding occasionally
+/// regardless of path — the conflicts no context can predict.
+pub fn data_dependent(g: &mut Gen, s: Splice, slots: u64) {
+    assert!(slots.is_power_of_two());
+    let base = g.region(slots * 8) as i64;
+    let st_addr = g.reg();
+    let ld_addr = g.reg();
+    let acc = g.reg();
+    let acc2 = g.reg();
+    let one = g.reg();
+    let mut c = g.b.at(s.entry);
+    // The store's address resolves late, so an unpredicted conflict is a
+    // real overtake (squash); mispredicted waits cost only the chain's
+    // slack, as the occasional-conflict loads are not loop-carried.
+    c.li(one, 1)
+        .shri(st_addr, HASH, 7)
+        .andi(st_addr, st_addr, slots as i64 - 1)
+        .shli(st_addr, st_addr, 3)
+        .mul(st_addr, st_addr, one)
+        .mul(st_addr, st_addr, one)
+        .addi(st_addr, st_addr, base)
+        .store(st_addr, 0, ITER, MemSize::B8)
+        .shri(ld_addr, HASH, 17)
+        .andi(ld_addr, ld_addr, slots as i64 - 1)
+        .shli(ld_addr, ld_addr, 3)
+        .addi(ld_addr, ld_addr, base)
+        .load(acc2, ld_addr, 0, MemSize::B8)
+        .add(acc, acc, acc2)
+        .jump(s.exit);
+}
+
+/// **Register save/restore around a call** (500.perlbench-like): callers
+/// selected by a divergent branch invoke a callee that spills the link
+/// register and a temporary to the stack and reloads them before
+/// returning. The reload's store distance depends on the caller.
+pub fn call_save_restore(g: &mut Gen, s: Splice, stack_bytes: u64) {
+    use phast_isa::{LINK_REG, STACK_REG};
+    let _stack_region = g.region(stack_bytes);
+    let sel = g.reg();
+    let arg = g.reg();
+    let acc = g.reg();
+    let caller_a = g.b.block();
+    let caller_b = g.b.block();
+    let callee = g.b.block();
+    let ret_a = g.b.block();
+    let ret_b = g.b.block();
+
+    g.b.at(s.entry)
+        .andi(sel, ITER, 1)
+        .addi(arg, ITER, 2)
+        .branchi(CondKind::Eq, sel, 1, caller_a)
+        .fallthrough(caller_b);
+    // Caller A calls directly.
+    g.b.at(caller_a).call(callee).fallthrough(ret_a);
+    // Caller B pushes an extra outgoing value first (changing the
+    // callee-restore store distance).
+    g.b.at(caller_b).store(STACK_REG, -16, arg, MemSize::B8).call(callee).fallthrough(ret_b);
+    g.b.at(callee)
+        .store(STACK_REG, 0, LINK_REG, MemSize::B8) // spill link
+        .store(STACK_REG, 8, arg, MemSize::B8) // spill temp
+        .mul(arg, arg, arg)
+        .load(arg, STACK_REG, 8, MemSize::B8) // reload temp
+        .load(LINK_REG, STACK_REG, 0, MemSize::B8) // reload link
+        .ret();
+    g.b.at(ret_a).add(acc, acc, arg).jump(s.exit);
+    g.b.at(ret_b).add(acc, acc, arg).jump(s.exit);
+}
+
+/// **Long-path dependence** (510.parest / 527.cam4-like): the conflicting
+/// store is separated from its load by `branches` divergent branches whose
+/// outcomes cycle with a small period, so the (long) paths repeat and are
+/// learnable — but only by predictors that can afford the history length.
+pub fn long_path(g: &mut Gen, s: Splice, branches: u32, period_bits: u32) {
+    let base = g.region(0x200) as i64;
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let sel = g.reg();
+
+    let mut chain: Vec<BlockHandle> = Vec::new();
+    for _ in 0..branches {
+        chain.push(g.b.block()); // test block
+        chain.push(g.b.block()); // taken side
+    }
+    let last = g.b.block();
+
+    g.b.at(s.entry)
+        .li(addr, 1)
+        .mul(addr, addr, addr)
+        .mul(addr, addr, addr)
+        .addi(addr, addr, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 5)
+        .store(addr, 0, val, MemSize::B8)
+        .jump(chain[0]);
+    for i in 0..branches as usize {
+        let test = chain[2 * i];
+        let taken = chain[2 * i + 1];
+        let next = if i + 1 < branches as usize { chain[2 * i + 2] } else { last };
+        let bit = (i as u32) % period_bits;
+        g.b.at(test)
+            .shri(sel, ITER, i64::from(bit))
+            .andi(sel, sel, 1)
+            .branchi(CondKind::Eq, sel, 1, taken)
+            .fallthrough(next);
+        g.b.at(taken).addi(val, val, 1).jump(next);
+    }
+    g.b.at(last).load(dst, fast, 0, MemSize::B8).add(val, val, dst).jump(s.exit);
+}
+
+/// **Pointer chase** (505.mcf / 520.omnetpp-like): walks a pre-linked
+/// ring, occasionally writing a payload field that a later hop re-reads.
+/// Emits both the init code (runs once) and the per-iteration body.
+pub fn pointer_chase(g: &mut Gen, init_entry: BlockHandle, init_exit: BlockHandle, s: Splice, nodes: u64) {
+    assert!(nodes.is_power_of_two());
+    let base = g.region(nodes * 16) as i64;
+    let ptr = g.reg();
+    let tmp = g.reg();
+    let nxt = g.reg();
+    let payload = g.reg();
+
+    // Init: node i at base + 16i, next = base + 16*((i*7+3) mod nodes).
+    let init_loop = g.b.block();
+    let init_done = g.b.block();
+    g.b.at(init_entry).li(tmp, 0).jump(init_loop);
+    {
+        let mut c = g.b.at(init_loop);
+        c.shli(ptr, tmp, 4)
+            .addi(ptr, ptr, base)
+            .mul(nxt, tmp, Reg::ZERO) // nxt = 0
+            .addi(nxt, tmp, 0)
+            .mul(nxt, nxt, nxt) // tmp^2: varied link pattern
+            .addi(nxt, nxt, 3)
+            .andi(nxt, nxt, nodes as i64 - 1)
+            .shli(nxt, nxt, 4)
+            .addi(nxt, nxt, base)
+            .store(ptr, 0, nxt, MemSize::B8)
+            .addi(tmp, tmp, 1)
+            .branchi(CondKind::LtU, tmp, nodes as i64, init_loop)
+            .fallthrough(init_done);
+    }
+    g.b.at(init_done).li(ptr, base).jump(init_exit);
+
+    // Body: two hops; write payload on hop 1, read it on hop 2 when the
+    // ring closes quickly (data-dependent, occasional conflict).
+    g.b.at(s.entry)
+        .load(ptr, ptr, 0, MemSize::B8) // hop
+        .addi(payload, ITER, 1)
+        .store(ptr, 8, payload, MemSize::B8)
+        .load(tmp, ptr, 0, MemSize::B8) // next hop address
+        .load(payload, tmp, 8, MemSize::B8) // may hit the store above
+        .add(payload, payload, tmp)
+        .addi(ptr, tmp, 0)
+        .jump(s.exit);
+}
+
+/// Assembles a complete workload: init blocks, then `iters` iterations of
+/// the given body splices in order, then halt. `build_body` receives the
+/// generator and a fresh splice per motif.
+pub struct Scaffold {
+    /// The generator (move motif registers/regions out of it).
+    pub g: Gen,
+    body_entry: BlockHandle,
+    loop_head: BlockHandle,
+    init_chain_tail: BlockHandle,
+}
+
+impl Scaffold {
+    /// Starts a workload with the standard outer loop.
+    pub fn new(seed: u64, iters: u64) -> Scaffold {
+        use phast_isa::STACK_REG;
+        let mut g = Gen::new(seed);
+        let entry = g.b.block();
+        let init_tail = g.b.block();
+        let loop_head = g.b.block();
+        let body_entry = g.b.block();
+        let stack = g.region(0x1000);
+        g.b.at(entry)
+            .li(ITER, 0)
+            .li(ITER_LIMIT, iters as i64)
+            .li(STACK_REG, stack as i64 + 0x800)
+            .jump(init_tail);
+        // loop head recomputes the per-iteration hash word.
+        g.b.at(loop_head)
+            .li(HASH, 0x9E37_79B9)
+            .mul(HASH, HASH, ITER)
+            .shri(HASH, HASH, 5)
+            .jump(body_entry);
+        g.b.set_entry(entry);
+        Scaffold { g, body_entry, loop_head, init_chain_tail: init_tail }
+    }
+
+    /// Adds an init stage (runs once, before the loop). Returns the
+    /// (entry, exit) pair the caller must wire via e.g.
+    /// [`pointer_chase`].
+    pub fn init_stage(&mut self) -> (BlockHandle, BlockHandle) {
+        let entry = self.init_chain_tail;
+        let exit = self.g.b.block();
+        self.init_chain_tail = exit;
+        (entry, exit)
+    }
+
+    /// Returns a splice for the next motif in the loop body.
+    pub fn next_motif(&mut self) -> Splice {
+        let entry = self.body_entry;
+        let exit = self.g.b.block();
+        self.body_entry = exit;
+        Splice { entry, exit }
+    }
+
+    /// Finishes the program: wires the init chain into the loop, closes
+    /// the loop, and validates.
+    pub fn finish(mut self) -> phast_isa::Program {
+        let exit = self.g.b.block();
+        // Wire the remaining init tail into the loop head.
+        self.g.b.at(self.init_chain_tail).addi(ITER, ITER, 0).jump(self.loop_head);
+        // Close the loop from the last body block.
+        self.g.b.at(self.body_entry)
+            .addi(ITER, ITER, 1)
+            .branch(CondKind::LtU, ITER, ITER_LIMIT, self.loop_head)
+            .fallthrough(exit);
+        self.g.b.at(exit).halt();
+        self.g.b.build().expect("generated workload must validate")
+    }
+}
+
+/// **Conditional dependence** (the paper's core differentiator): on one
+/// path a store writes the slot the load reads; on the other path there is
+/// no conflicting store at all. The only divergent branch is *previous to
+/// the store*, so PHAST's N+1 rule (N = 0) separates the paths exactly,
+/// while a PC-indexed (path-insensitive) prediction stalls the no-conflict
+/// path — the NoSQ false-positive generator of §II-B. A `selector_bit` of
+/// 32 or more draws from high (pseudo-random) hash bits, making the
+/// conflict data-dependent rather than path-dependent (541.leela-like).
+pub fn conditional_dep(g: &mut Gen, s: Splice, selector_bit: u32) {
+    let base = g.region(0x200) as i64;
+    let sel = g.reg();
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let store_path = g.b.block();
+    let join = g.b.block();
+
+    g.b.at(s.entry)
+        .shri(sel, HASH, i64::from(selector_bit.min(27)))
+        .andi(sel, sel, 1)
+        .li(addr, 1)
+        .mul(addr, addr, addr)
+        .mul(addr, addr, addr)
+        .addi(addr, addr, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 11)
+        .branchi(CondKind::Eq, sel, 1, store_path)
+        .fallthrough(join);
+    g.b.at(store_path).store(addr, 0, val, MemSize::B8).jump(join);
+    g.b.at(join).load(dst, fast, 0, MemSize::B8).add(val, val, dst).jump(s.exit);
+}
+
+/// **Serialized writers** (500.perlbench_3-like, §VII Önder & Gupta): two
+/// different store instructions write the same slot — a slow one always,
+/// a fast one only on half the paths — and a load reads it. Store Sets
+/// merges both stores into one set and serializes them, so the fast store
+/// eats the slow store's divide-chain latency on every both-stores path;
+/// store-distance predictors just wait for the youngest writer.
+pub fn serialized_writers(g: &mut Gen, s: Splice, slow_divs: usize) {
+    let base = g.region(0x200) as i64;
+    let sel = g.reg();
+    let slow = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let one = g.reg();
+    let both = g.b.block();
+    let join = g.b.block();
+
+    let mut c = g.b.at(s.entry);
+    c.andi(sel, ITER, 1).li(one, 1).li(slow, 1);
+    for _ in 0..slow_divs {
+        c.div(slow, slow, one);
+    }
+    c.addi(slow, slow, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 21)
+        .store(slow, 0, val, MemSize::B8) // slow writer, always executes
+        .branchi(CondKind::Eq, sel, 1, both)
+        .fallthrough(join);
+    g.b.at(both).addi(val, val, 1).store(fast, 0, val, MemSize::B8).jump(join);
+    g.b.at(join).load(dst, fast, 0, MemSize::B8).add(val, val, dst).jump(s.exit);
+}
+
+/// **Dispatch farm** (502.gcc-like code footprint): an indirect branch
+/// with a pseudo-random selector fans out over `cases` handlers, each with
+/// its own private store→load pair. Hundreds of load/store PCs and
+/// non-repeating dispatch sequences pressure prediction tables, the BTB
+/// and the branch history the way a large irregular code base does.
+pub fn dispatch_farm(g: &mut Gen, s: Splice, cases: usize, random_bits: u32) {
+    assert!(cases.is_power_of_two() && cases >= 2);
+    let base = g.region(64 * cases as u64) as i64;
+    let sel = g.reg();
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let join = g.b.block();
+    let handlers: Vec<BlockHandle> = (0..cases).map(|_| g.b.block()).collect();
+
+    g.b.at(s.entry)
+        .shri(sel, HASH, i64::from(random_bits))
+        .andi(sel, sel, cases as i64 - 1)
+        .li(addr, 1)
+        .mul(addr, addr, addr)
+        .mul(addr, addr, addr)
+        .addi(addr, addr, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 17)
+        .indirect_jump(sel, &handlers);
+    for (i, &h) in handlers.iter().enumerate() {
+        let off = 64 * i as i64;
+        g.b.at(h)
+            .store(addr, off, val, MemSize::B8)
+            .load(dst, fast, off, MemSize::B8)
+            .add(val, val, dst)
+            .jump(join);
+    }
+    g.b.at(join).addi(val, val, 1).jump(s.exit);
+}
+
+/// **Cross-iteration dependence** (the §VII Önder & Gupta scenario that
+/// hurts Store Sets): every iteration stores to slot `i mod K` with a
+/// late-resolving address and loads slot `(i-1) mod K` — the value the
+/// *previous* dynamic instance of the same store wrote. The store's
+/// divide chain is gated on the previous loaded value, so the dependence
+/// is the loop's critical path: a predictor that waits on the wrong
+/// (current) store instance pays the whole chain every iteration, while
+/// store-distance predictors wait on the already-complete older instance.
+pub fn cross_iteration(g: &mut Gen, s: Splice, slots: u64, slow_divs: usize) {
+    assert!(slots.is_power_of_two() && slots >= 2);
+    let base = g.region(slots * 8) as i64;
+    let st_addr = g.reg();
+    let ld_addr = g.reg();
+    let dst = g.reg(); // loop-carried: last loaded value
+    let zero = g.reg();
+    let one = g.reg();
+    let mut c = g.b.at(s.entry);
+    c.li(one, 1)
+        .andi(zero, dst, 0) // zero, but data-dependent on the last load
+        .andi(st_addr, ITER, slots as i64 - 1)
+        .shli(st_addr, st_addr, 3)
+        .add(st_addr, st_addr, zero);
+    for _ in 0..slow_divs {
+        c.div(st_addr, st_addr, one);
+    }
+    c.addi(st_addr, st_addr, base)
+        .addi(dst, dst, 1)
+        .store(st_addr, 0, dst, MemSize::B8)
+        .addi(ld_addr, ITER, -1)
+        .andi(ld_addr, ld_addr, slots as i64 - 1)
+        .shli(ld_addr, ld_addr, 3)
+        .addi(ld_addr, ld_addr, base)
+        .load(dst, ld_addr, 0, MemSize::B8)
+        .jump(s.exit);
+}
+
+
+/// **Deep path-dependent dependence** (the paper's central scenario): the
+/// branch that decides the store distance executes *before* the store,
+/// and `noise_branches` further divergent branches separate the store
+/// from the load. A fixed-history predictor shorter than the full
+/// store→load path cannot see the deciding branch; one longer than it
+/// multiplies entries by every noise combination. PHAST trains at exactly
+/// N = `noise_branches`, whose N+1 rule reaches back to the decider.
+pub fn path_dep_deep(
+    g: &mut Gen,
+    s: Splice,
+    selector_bit: u32,
+    extra_stores: usize,
+    noise_branches: u32,
+    period_bits: u32,
+) {
+    let base = g.region(0x400) as i64;
+    let sel = g.reg();
+    let addr = g.reg();
+    let fast = g.reg();
+    let val = g.reg();
+    let dst = g.reg();
+    let left = g.b.block();
+    let right = g.b.block();
+    let mut chain: Vec<BlockHandle> = Vec::new();
+    for _ in 0..noise_branches {
+        chain.push(g.b.block()); // test
+        chain.push(g.b.block()); // taken side
+    }
+    let last = g.b.block();
+
+    g.b.at(s.entry)
+        .shri(sel, ITER, i64::from(selector_bit))
+        .andi(sel, sel, 1)
+        .li(addr, 1)
+        .mul(addr, addr, addr)
+        .mul(addr, addr, addr)
+        .addi(addr, addr, base - 1)
+        .li(fast, base)
+        .addi(val, ITER, 1)
+        .branchi(CondKind::Eq, sel, 1, left)
+        .fallthrough(right);
+    let chain_head = if chain.is_empty() { last } else { chain[0] };
+    g.b.at(left).store(addr, 0, val, MemSize::B8).jump(chain_head);
+    {
+        let mut c = g.b.at(right);
+        c.store(addr, 0, val, MemSize::B8);
+        for i in 0..extra_stores {
+            c.store(addr, 64 * (i as i64 + 1), val, MemSize::B8);
+        }
+        c.jump(chain_head);
+    }
+    // Noise: divergent branches whose outcomes cycle with the iteration
+    // counter, hiding the decider from short fixed histories.
+    for i in 0..noise_branches as usize {
+        let test = chain[2 * i];
+        let taken = chain[2 * i + 1];
+        let next = if i + 1 < noise_branches as usize { chain[2 * i + 2] } else { last };
+        let bit = (i as u32 + 1) % period_bits.max(1);
+        g.b.at(test)
+            .shri(sel, ITER, i64::from(bit))
+            .andi(sel, sel, 1)
+            .branchi(CondKind::Eq, sel, 1, taken)
+            .fallthrough(next);
+        g.b.at(taken).addi(val, val, 1).jump(next);
+    }
+    g.b.at(last).load(dst, fast, 0, MemSize::B8).add(val, val, dst).jump(s.exit);
+}

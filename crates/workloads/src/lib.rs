@@ -1,0 +1,120 @@
+//! Synthetic SPEC-CPU-2017-like workloads for memory dependence
+//! prediction studies.
+//!
+//! The paper evaluates on SPEC CPU 2017 SimPoint traces, which this
+//! reproduction cannot ship. Memory dependence predictor behaviour is
+//! driven by the *structure* of store→load dependences — store distance,
+//! divergent-branch path length, path multiplicity, data- versus
+//! path-dependence — rather than by application semantics, so each
+//! workload here is a small program engineered to reproduce the mechanism
+//! the paper attributes to one SPEC application (full argument in
+//! DESIGN.md §3). Workloads are deterministic (seeded) and sized by an
+//! outer-loop iteration count.
+//!
+//! # Examples
+//!
+//! ```
+//! let w = phast_workloads::by_name("povray").unwrap();
+//! let program = w.build(100);
+//! assert!(program.num_divergent_branches() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod apps;
+pub mod gen;
+
+pub use apps::{all_workloads, by_name, Workload};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_isa::{Emulator, Op};
+
+    #[test]
+    fn registry_has_23_workloads_with_unique_names() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 23);
+        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 23, "names must be unique");
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for w in all_workloads() {
+            assert_eq!(by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(by_name("not-a-workload").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_and_emulates() {
+        for w in all_workloads() {
+            let p = w.build(50);
+            let mut emu = Emulator::new(&p);
+            let n = emu.run(500_000).unwrap_or_else(|e| panic!("{} emu error: {e}", w.name));
+            assert!(emu.halted(), "{} must halt within budget ({} retired)", w.name, n);
+            assert!(n > 100, "{} is too trivial ({} insts)", w.name, n);
+        }
+    }
+
+    #[test]
+    fn every_workload_has_memory_traffic_and_divergence() {
+        for w in all_workloads() {
+            let p = w.build(10);
+            let (loads, stores) = p.num_mem_ops();
+            assert!(loads > 0, "{} has no loads", w.name);
+            assert!(stores > 0, "{} has no stores", w.name);
+            assert!(p.num_divergent_branches() > 0, "{} has no divergent branches", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_scale_with_iterations() {
+        let w = by_name("gcc_1").unwrap();
+        let (ps, pl) = (w.build(10), w.build(100));
+        let mut short = Emulator::new(&ps);
+        let mut long = Emulator::new(&pl);
+        let a = short.run(1_000_000).unwrap();
+        let b = long.run(1_000_000).unwrap();
+        assert!(b > 5 * a, "10x iterations must run much longer ({a} vs {b})");
+    }
+
+    #[test]
+    fn most_workloads_have_true_dependences() {
+        use phast_mdp::DepOracle;
+        let mut with_deps = 0;
+        for w in all_workloads() {
+            let p = w.build(200);
+            let oracle = DepOracle::build(&p, 200_000, 256).unwrap();
+            if oracle.dependent_loads() > 0 {
+                with_deps += 1;
+            }
+        }
+        assert!(with_deps >= 20, "only {with_deps}/23 workloads produce dependences");
+    }
+
+    #[test]
+    fn subword_workloads_show_multi_store_loads() {
+        use phast_mdp::DepOracle;
+        let p = by_name("x264").unwrap().build(500);
+        let oracle = DepOracle::build(&p, 300_000, 256).unwrap();
+        let stats = oracle.multi_store_stats();
+        assert!(stats.multi_store_loads > 0, "x264-like must have multi-store loads");
+        assert!(
+            stats.same_base_pct() > 50.0,
+            "composed stores share a base register ({}%)",
+            stats.same_base_pct()
+        );
+    }
+
+    #[test]
+    fn workloads_execute_calls_and_indirects() {
+        // perlbench exercises call/ret, povray exercises indirect jumps.
+        let p = by_name("perlbench_1").unwrap().build(20);
+        assert!(p.count_insts(|i| matches!(i.op, Op::Call(_))) > 0);
+        assert!(p.count_insts(|i| matches!(i.op, Op::Ret)) > 0);
+        let p = by_name("povray").unwrap().build(20);
+        assert!(p.count_insts(|i| matches!(i.op, Op::IndirectJump(_))) > 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Motif-level checks: each workload motif must create exactly the
+//! dependence structure it advertises. Verified against the dependence
+//! oracle (functional emulation), independent of the timing core.
+
+use phast_isa::Emulator;
+use phast_mdp::DepOracle;
+use phast_workloads::gen::{
+    conditional_dep, cross_iteration, dispatch_farm, indirect_dispatch, path_dep, subword_merge,
+    tight_forward, Scaffold,
+};
+use std::collections::HashSet;
+
+fn oracle_for(program: &phast_isa::Program) -> DepOracle {
+    DepOracle::build(program, 200_000, 512).expect("emulates")
+}
+
+#[test]
+fn tight_forward_has_distance_zero_every_iteration() {
+    let mut s = Scaffold::new(1, 200);
+    let m = s.next_motif();
+    tight_forward(&mut s.g, m, 2);
+    let p = s.finish();
+    let o = oracle_for(&p);
+    assert!(o.dependent_loads() >= 200, "one dependence per iteration");
+    // Every dependence of this motif is distance 0.
+    let mut emu = Emulator::new(&p);
+    let mut distances = HashSet::new();
+    while let Some(rec) = emu.step().unwrap() {
+        if let Some((d, _)) = o.lookup(rec.seq) {
+            distances.insert(d);
+        }
+    }
+    assert_eq!(distances, HashSet::from([0]), "tight forwarding is always distance 0");
+}
+
+#[test]
+fn path_dep_produces_two_distances() {
+    let mut s = Scaffold::new(2, 400);
+    let m = s.next_motif();
+    path_dep(&mut s.g, m, 0, 2);
+    let p = s.finish();
+    let o = oracle_for(&p);
+    let mut emu = Emulator::new(&p);
+    let mut distances = HashSet::new();
+    while let Some(rec) = emu.step().unwrap() {
+        if let Some((d, _)) = o.lookup(rec.seq) {
+            distances.insert(d);
+        }
+    }
+    assert!(
+        distances.contains(&0) && distances.contains(&2),
+        "left path distance 0, right path distance 2 (got {distances:?})"
+    );
+}
+
+#[test]
+fn indirect_dispatch_distances_span_the_handler_count() {
+    let k = 4;
+    let mut s = Scaffold::new(3, 400);
+    let m = s.next_motif();
+    indirect_dispatch(&mut s.g, m, k, 2);
+    let p = s.finish();
+    let o = oracle_for(&p);
+    let mut emu = Emulator::new(&p);
+    let mut distances = HashSet::new();
+    while let Some(rec) = emu.step().unwrap() {
+        if let Some((d, _)) = o.lookup(rec.seq) {
+            distances.insert(d);
+        }
+    }
+    for d in 0..k as u32 {
+        assert!(distances.contains(&d), "handler {d} must appear (got {distances:?})");
+    }
+}
+
+#[test]
+fn conditional_dep_distances_differ_by_path() {
+    let mut s = Scaffold::new(4, 600);
+    let m = s.next_motif();
+    conditional_dep(&mut s.g, m, 0); // low hash bit: both paths taken often
+    // A second motif supplies intervening stores, as in the real
+    // workloads: on the no-store path the provider is then several
+    // stores away instead of the youngest.
+    let m = s.next_motif();
+    tight_forward(&mut s.g, m, 1);
+    let p = s.finish();
+    let o = oracle_for(&p);
+    // On the store path the provider is this iteration's store (small
+    // distance); on the no-store path the provider is a *previous*
+    // iteration's store (larger distance). A path-insensitive prediction
+    // must be wrong on one of the two.
+    let mut emu = Emulator::new(&p);
+    let mut distances = HashSet::new();
+    while let Some(rec) = emu.step().unwrap() {
+        if let Some((d, _)) = o.lookup(rec.seq) {
+            distances.insert(d);
+        }
+    }
+    assert!(
+        distances.len() >= 2,
+        "the two paths must need different store distances (got {distances:?})"
+    );
+    assert!(distances.contains(&0), "the store path is distance 0");
+}
+
+#[test]
+fn cross_iteration_dependences_reach_back_one_iteration() {
+    let mut s = Scaffold::new(5, 300);
+    let m = s.next_motif();
+    cross_iteration(&mut s.g, m, 8, 1);
+    let p = s.finish();
+    let o = oracle_for(&p);
+    let mut emu = Emulator::new(&p);
+    let mut distances = HashSet::new();
+    while let Some(rec) = emu.step().unwrap() {
+        if let Some((d, _)) = o.lookup(rec.seq) {
+            distances.insert(d);
+        }
+    }
+    // The body has exactly one store, so the previous iteration's instance
+    // sits at distance 0 counting intervening stores... which is the
+    // *current* iteration's store; the true provider is one further.
+    assert!(!distances.is_empty(), "cross-iteration dependences must exist");
+    assert!(
+        distances.iter().all(|&d| d >= 1),
+        "the provider is never the current iteration's store (got {distances:?})"
+    );
+}
+
+#[test]
+fn subword_merge_is_a_rare_multi_store_dependence() {
+    let mut s = Scaffold::new(6, 512);
+    let m = s.next_motif();
+    subword_merge(&mut s.g, m, 8, 4); // once every 16 iterations
+    let p = s.finish();
+    let o = oracle_for(&p);
+    let stats = o.multi_store_stats();
+    assert!(
+        (28..=36).contains(&stats.multi_store_loads),
+        "512 iterations / 16 = 32 merges (got {})",
+        stats.multi_store_loads
+    );
+    assert_eq!(
+        stats.multi_store_same_base, stats.multi_store_loads,
+        "all component stores share the base register"
+    );
+}
+
+#[test]
+fn dispatch_farm_spreads_over_many_load_pcs() {
+    let cases = 16;
+    let mut s = Scaffold::new(7, 600);
+    let m = s.next_motif();
+    dispatch_farm(&mut s.g, m, cases, 9);
+    let p = s.finish();
+    let o = oracle_for(&p);
+    let mut emu = Emulator::new(&p);
+    let mut load_pcs = HashSet::new();
+    while let Some(rec) = emu.step().unwrap() {
+        if o.lookup(rec.seq).is_some() {
+            load_pcs.insert(rec.pc);
+        }
+    }
+    assert!(
+        load_pcs.len() >= cases - 2,
+        "almost every handler's load must conflict (got {} PCs)",
+        load_pcs.len()
+    );
+}
+
+#[test]
+fn path_dep_deep_hides_the_decider_from_short_histories() {
+    use phast_workloads::gen::path_dep_deep;
+    let mut s = Scaffold::new(8, 400);
+    let m = s.next_motif();
+    path_dep_deep(&mut s.g, m, 0, 2, 4, 3);
+    let p = s.finish();
+    let o = oracle_for(&p);
+    let mut emu = Emulator::new(&p);
+    let mut distances = HashSet::new();
+    while let Some(rec) = emu.step().unwrap() {
+        if let Some((d, _)) = o.lookup(rec.seq) {
+            distances.insert(d);
+        }
+    }
+    assert!(
+        distances.contains(&0) && distances.contains(&2),
+        "both path distances must occur (got {distances:?})"
+    );
+    // The program has 4 divergent noise branches between store and load.
+    assert!(p.num_divergent_branches() >= 6, "decider + noise + loop branches");
+}

@@ -1,0 +1,49 @@
+//! Predictor shootout: every memory dependence predictor on every
+//! synthetic SPEC-like workload, reported as IPC normalized to the ideal
+//! predictor — a compact version of the paper's Fig. 15.
+//!
+//! ```text
+//! cargo run --release --example predictor_shootout          # full
+//! cargo run --release --example predictor_shootout -- quick # 6 workloads
+//! ```
+
+use phast_experiments::harness::{geomean, normalized_ipc, run_all};
+use phast_experiments::{Budget, PredictorKind};
+use phast_ooo::CoreConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let budget = if quick { Budget::quick() } else { Budget::full() };
+    let cfg = CoreConfig::alder_lake();
+
+    let kinds = [
+        PredictorKind::Blind,
+        PredictorKind::TotalOrder,
+        PredictorKind::Cht,
+        PredictorKind::StoreVector,
+        PredictorKind::StoreSets,
+        PredictorKind::MdpTage,
+        PredictorKind::MdpTageS,
+        PredictorKind::NoSq,
+        PredictorKind::Phast,
+    ];
+
+    println!("simulating {} workloads x {} predictors...", budget.workloads().len(), kinds.len() + 1);
+    let ideal = run_all(&PredictorKind::Ideal, &cfg, &budget);
+
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "predictor", "norm. IPC", "MPKI FN", "MPKI FP", "size KB"
+    );
+    for kind in &kinds {
+        let runs = run_all(kind, &cfg, &budget);
+        let g = geomean(&normalized_ipc(&runs, &ideal));
+        let n = runs.len() as f64;
+        let fnm = runs.iter().map(|r| r.stats.violation_mpki()).sum::<f64>() / n;
+        let fpm = runs.iter().map(|r| r.stats.false_dep_mpki()).sum::<f64>() / n;
+        let program = budget.workloads()[0].build(16);
+        let kb = kind.build(&program, 16).storage_bits() as f64 / 8192.0;
+        println!("{:<14} {:>10.4} {:>10.3} {:>10.3} {:>10.2}", kind.label(), g, fnm, fpm, kb);
+    }
+    println!("\n(IPC normalized to a perfect memory dependence predictor; higher is better)");
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the PHAST reproduction workspace.
+//!
+//! This crate exists to host the workspace-wide integration tests (`tests/`)
+//! and the runnable examples (`examples/`). It re-exports the member crates
+//! under short names so examples read naturally.
+
+pub use phast as predictor;
+pub use phast_baselines as baselines;
+pub use phast_branch as branch;
+pub use phast_energy as energy;
+pub use phast_experiments as experiments;
+pub use phast_isa as isa;
+pub use phast_mdp as mdp;
+pub use phast_mem as mem;
+pub use phast_ooo as ooo;
+pub use phast_workloads as workloads;

@@ -1,0 +1,49 @@
+//! The ideal predictor depends on the core's speculative architectural
+//! sequence numbering staying exact across branch mispredicts and
+//! memory-order squashes. If `arch_seq` ever drifted, the oracle would
+//! answer for the wrong dynamic instruction and violations would appear.
+
+use phast_experiments::harness::{run_all, run_one, Budget};
+use phast_experiments::PredictorKind;
+use phast_ooo::CoreConfig;
+
+#[test]
+fn ideal_predictor_never_violates_on_branchy_workloads() {
+    // gcc_1 mispredicts branches constantly (hash-driven selectors) and
+    // povray mispredicts indirect targets; both squash and re-fetch all
+    // the time. The oracle must still line up perfectly.
+    let budget = Budget { insts: 60_000, workload_iters: 400_000, max_workloads: None };
+    for name in ["gcc_1", "gcc_2", "povray", "deepsjeng", "leela", "xz"] {
+        let w = phast_workloads::by_name(name).unwrap();
+        let r = run_one(&w, &PredictorKind::Ideal, &CoreConfig::alder_lake(), &budget);
+        assert_eq!(
+            r.stats.violations, 0,
+            "{name}: the oracle must never squash (arch_seq drift?)"
+        );
+        assert_eq!(
+            r.stats.false_dependences, 0,
+            "{name}: the oracle must never stall needlessly"
+        );
+        assert!(r.stats.branch_mispredicts > 0, "{name} must actually be branchy");
+    }
+}
+
+#[test]
+fn ideal_is_an_upper_bound_for_every_limited_predictor() {
+    let budget = Budget { insts: 40_000, workload_iters: 300_000, max_workloads: Some(8) };
+    let cfg = CoreConfig::alder_lake();
+    let ideal = run_all(&PredictorKind::Ideal, &cfg, &budget);
+    for kind in PredictorKind::headline() {
+        let runs = run_all(&kind, &cfg, &budget);
+        for (r, i) in runs.iter().zip(&ideal) {
+            assert!(
+                r.stats.ipc() <= i.stats.ipc() * 1.06,
+                "{} on {} ({:.3}) implausibly beats ideal ({:.3})",
+                kind.label(),
+                r.workload,
+                r.stats.ipc(),
+                i.stats.ipc()
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Shape-level checks of the paper's headline claims, at a moderate
+//! budget. Absolute values differ from the paper (synthetic workloads);
+//! the *ordering* claims are asserted:
+//!
+//! 1. PHAST is the closest limited predictor to ideal (geomean IPC).
+//! 2. PHAST has the lowest total MPKI of the limited predictors.
+//! 3. UnlimitedPHAST sits within a small gap of ideal (paper: 0.47%).
+//! 4. The forwarding filter helps PHAST more than any other predictor
+//!    (paper Fig. 12: +5% for PHAST vs ~1-2% for the rest).
+//! 5. UnlimitedPHAST tracks far fewer paths than a 16-branch fixed-length
+//!    NoSQ (paper: less than a third).
+
+use phast_experiments::harness::{geomean, normalized_ipc, run_all};
+use phast_experiments::{Budget, PredictorKind};
+use phast_ooo::CoreConfig;
+
+fn budget() -> Budget {
+    Budget { insts: 60_000, workload_iters: 400_000, max_workloads: None }
+}
+
+#[test]
+fn phast_is_closest_to_ideal_and_has_lowest_mpki() {
+    let budget = budget();
+    let cfg = CoreConfig::alder_lake();
+    let ideal = run_all(&PredictorKind::Ideal, &cfg, &budget);
+
+    let mut geomeans = Vec::new();
+    let mut mpkis = Vec::new();
+    for kind in PredictorKind::headline() {
+        let runs = run_all(&kind, &cfg, &budget);
+        geomeans.push((kind.label(), geomean(&normalized_ipc(&runs, &ideal))));
+        let m =
+            runs.iter().map(|r| r.stats.total_mpki()).sum::<f64>() / runs.len() as f64;
+        mpkis.push((kind.label(), m));
+    }
+    let phast_ipc = geomeans.last().unwrap().1;
+    for (name, g) in &geomeans[..geomeans.len() - 1] {
+        assert!(
+            phast_ipc >= g - 0.004,
+            "PHAST ({phast_ipc:.4}) must not trail {name} ({g:.4}) beyond noise"
+        );
+    }
+    let phast_mpki = mpkis.last().unwrap().1;
+    for (name, m) in &mpkis[..mpkis.len() - 1] {
+        assert!(
+            phast_mpki < *m,
+            "PHAST total MPKI ({phast_mpki:.3}) must be lowest; {name} has {m:.3}"
+        );
+    }
+    // Paper: 62-70% misprediction reduction vs the baselines.
+    let best_other = mpkis[..mpkis.len() - 1].iter().map(|(_, m)| *m).fold(f64::MAX, f64::min);
+    assert!(
+        phast_mpki < 0.8 * best_other,
+        "PHAST must reduce mispredictions substantially ({phast_mpki:.3} vs best other {best_other:.3})"
+    );
+}
+
+#[test]
+fn unlimited_phast_is_near_ideal() {
+    let budget = budget();
+    let cfg = CoreConfig::alder_lake();
+    let ideal = run_all(&PredictorKind::Ideal, &cfg, &budget);
+    let runs = run_all(&PredictorKind::UnlimitedPhast(None), &cfg, &budget);
+    let g = geomean(&normalized_ipc(&runs, &ideal));
+    assert!(
+        g > 0.98,
+        "UnlimitedPHAST must be within ~2% of ideal at this budget (got {g:.4})"
+    );
+}
+
+#[test]
+fn forwarding_filter_helps_phast_most() {
+    let budget = budget();
+    let mut on = CoreConfig::alder_lake();
+    on.forwarding_filter = true;
+    let mut off = CoreConfig::alder_lake();
+    off.forwarding_filter = false;
+    let ideal = run_all(&PredictorKind::Ideal, &on, &budget);
+
+    let gain = |kind: &PredictorKind| {
+        let g_on = geomean(&normalized_ipc(&run_all(kind, &on, &budget), &ideal));
+        let g_off = geomean(&normalized_ipc(&run_all(kind, &off, &budget), &ideal));
+        g_on - g_off
+    };
+    let phast_gain = gain(&PredictorKind::Phast);
+    let nosq_gain = gain(&PredictorKind::NoSq);
+    let ss_gain = gain(&PredictorKind::StoreSets);
+    assert!(
+        phast_gain >= nosq_gain - 0.002 && phast_gain >= ss_gain - 0.002,
+        "FWD filtering must benefit PHAST at least as much as the others \
+         (phast {phast_gain:.4}, nosq {nosq_gain:.4}, ss {ss_gain:.4})"
+    );
+    assert!(phast_gain > 0.0, "the filter must help PHAST (got {phast_gain:.4})");
+}
+
+#[test]
+fn unlimited_phast_tracks_fewer_paths_than_long_nosq() {
+    let budget = budget();
+    let cfg = CoreConfig::alder_lake();
+    let phast_paths: u64 = run_all(&PredictorKind::UnlimitedPhast(None), &cfg, &budget)
+        .iter()
+        .map(|r| r.num_paths)
+        .sum();
+    let nosq16_paths: u64 = run_all(&PredictorKind::UnlimitedNoSq(16), &cfg, &budget)
+        .iter()
+        .map(|r| r.num_paths)
+        .sum();
+    assert!(
+        phast_paths * 2 < nosq16_paths,
+        "UnlimitedPHAST ({phast_paths}) must track far fewer paths than 16-branch NoSQ ({nosq16_paths})"
+    );
+}
+
+#[test]
+fn history_cap_32_matches_unlimited() {
+    // Fig. 11: a 32-branch cap loses nothing measurable.
+    let budget = budget();
+    let cfg = CoreConfig::alder_lake();
+    let ideal = run_all(&PredictorKind::Ideal, &cfg, &budget);
+    let unl =
+        geomean(&normalized_ipc(&run_all(&PredictorKind::UnlimitedPhast(None), &cfg, &budget), &ideal));
+    let capped = geomean(&normalized_ipc(
+        &run_all(&PredictorKind::UnlimitedPhast(Some(32)), &cfg, &budget),
+        &ideal,
+    ));
+    assert!(
+        (unl - capped).abs() < 0.005,
+        "a 32-branch cap must be indistinguishable ({capped:.4} vs {unl:.4})"
+    );
+}
