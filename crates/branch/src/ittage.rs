@@ -171,7 +171,7 @@ impl Ittage {
         }
 
         self.updates += 1;
-        if self.updates % self.cfg.reset_period == 0 {
+        if self.updates.is_multiple_of(self.cfg.reset_period) {
             for table in &mut self.tables {
                 for e in table.iter_mut() {
                     e.useful = 0;

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! member provides the criterion API subset the workspace's benches use
+//! ([`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], the `criterion_group!`/`criterion_main!` macros) backed
+//! by a simple wall-clock harness: each benchmark runs `sample_size`
+//! timed samples after one warm-up and prints min/mean times.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id built from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Times closures over a fixed number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_sampled(name: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) {
+    // One warm-up pass, then `sample_size` timed samples of one iteration
+    // each (the workspace's benches wrap whole experiment runs, so long
+    // per-iteration times dominate and one iteration per sample is fine).
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    routine(&mut b);
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        routine(&mut b);
+        samples.push(b.elapsed);
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!("bench {name:<40} min {min:>12.3?}  mean {mean:>12.3?}  ({} samples)", samples.len());
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_sampled(&format!("{}/{}", self.name, id), self.sample_size, routine);
+        self
+    }
+
+    /// Benchmarks a closure receiving a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_sampled(&format!("{}/{}", self.name, id.label), self.sample_size, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench context handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size.max(1);
+        BenchmarkGroup { name: name.into(), sample_size, _parent: self }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let n = self.sample_size.max(1);
+        run_sampled(&id.to_string(), n, routine);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` (criterion exposes its own).
+pub use std::hint::black_box;
+
+/// Declares a list of benchmark functions as one group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = <$crate::Criterion as Default>::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut runs = 0;
+        g.sample_size(3).bench_function("inc", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 samples, one iteration each.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_with_input(BenchmarkId::from_parameter("x"), &41, |b, &x| {
+            b.iter(|| x + 1)
+        });
+    }
+}

@@ -15,11 +15,11 @@
 //!   branch-prediction lengths (the paper's "an Omnipredictor cannot be
 //!   tuned for both" claim, §IV-B).
 
-use crate::harness::{geomean, normalized_ipc, Budget, RunResult};
+use crate::harness::{geomean, normalized_ipc, run_custom, Budget, RunResult};
 use crate::predictors::PredictorKind;
 use crate::tablefmt::TextTable;
 use phast::{Phast, PhastConfig};
-use phast_ooo::{simulate, CoreConfig, MemSquashPolicy, TrainPoint};
+use phast_ooo::{CoreConfig, MemSquashPolicy, TrainPoint};
 
 fn run_phast_variant(
     cfg_fn: impl Fn() -> PhastConfig,
@@ -32,13 +32,7 @@ fn run_phast_variant(
         .map(|w| {
             let program = w.build(budget.workload_iters);
             let mut pred = Phast::new(cfg_fn());
-            let stats = simulate(&program, core, &mut pred, budget.insts);
-            RunResult {
-                workload: w.name.to_string(),
-                predictor: "phast-variant".into(),
-                stats,
-                num_paths: 0,
-            }
+            run_custom(w.name, "phast-variant", &program, core, &mut pred, budget.insts)
         })
         .collect()
 }

@@ -71,4 +71,16 @@ fn main() {
             }
         }
     }
+
+    // Degraded (failed but recovered) runs are collected by the harness so
+    // one bad (workload, predictor) pair cannot abort a whole sweep; they
+    // still must be visible at the end rather than scrolled away.
+    let degraded = phast_experiments::harness::take_degraded();
+    if !degraded.is_empty() {
+        eprintln!("{} degraded run(s) — their statistics are partial:", degraded.len());
+        for d in &degraded {
+            eprintln!("  - {d}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -208,8 +208,8 @@ pub mod fig789 {
 /// Fig. 10: percentage of unique conflicts detected at each history length.
 pub mod fig10 {
     use super::*;
+    use crate::harness::run_custom;
     use phast::UnlimitedPhast;
-    use phast_ooo::simulate;
 
     /// Runs the study; the histogram needs direct access to the
     /// UnlimitedPHAST internals, so it bypasses the predictor factory.
@@ -220,7 +220,7 @@ pub mod fig10 {
             let mut pred = UnlimitedPhast::new();
             let mut cfg = CoreConfig::alder_lake();
             cfg.train_point = PredictorKind::UnlimitedPhast(None).train_point();
-            let _ = simulate(&program, &cfg, &mut pred, budget.insts);
+            let _ = run_custom(w.name, "unl-phast", &program, &cfg, &mut pred, budget.insts);
             for (len, &n) in pred.length_histogram().iter().enumerate() {
                 if histogram.len() <= len {
                     histogram.resize(len + 1, 0);

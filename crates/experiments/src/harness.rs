@@ -1,8 +1,23 @@
-//! Shared simulation harness: budgets, per-run results, aggregation.
+//! Shared simulation harness: budgets, per-run results, aggregation, and
+//! graceful degradation — a run that fails with a [`SimError`] is recorded
+//! (with its partial statistics) and reported at the end of the experiment
+//! binary instead of aborting every remaining (workload, predictor) pair.
 
 use crate::predictors::PredictorKind;
-use phast_ooo::{simulate, CoreConfig, SimStats};
+use phast_isa::Program;
+use phast_mdp::MemDepPredictor;
+use phast_ooo::{try_simulate, CoreConfig, SimError, SimStats};
 use phast_workloads::Workload;
+use std::sync::Mutex;
+
+/// Degraded runs recorded since the last [`take_degraded`], newest last.
+static DEGRADED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Drains the recorded degraded-run descriptions (the experiment binary
+/// reports them once all experiments have run).
+pub fn take_degraded() -> Vec<String> {
+    std::mem::take(&mut *DEGRADED.lock().expect("degraded-run registry"))
+}
 
 /// How much work an experiment may do. The binary runs at
 /// [`Budget::full`]; the Criterion benches and tests use
@@ -45,10 +60,48 @@ pub struct RunResult {
     pub workload: String,
     /// Predictor label.
     pub predictor: String,
-    /// Full simulator statistics.
+    /// Full simulator statistics (partial if `failure` is set).
     pub stats: SimStats,
     /// Paths tracked by unlimited predictors (0 for table-based ones).
     pub num_paths: u64,
+    /// The error that ended the run early, if it could not finish cleanly.
+    pub failure: Option<SimError>,
+}
+
+impl RunResult {
+    /// True if the run finished cleanly (statistics are a full sample).
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs an already-built predictor on an already-built program, degrading
+/// gracefully: a failed run yields its partial statistics plus the
+/// [`SimError`], and is recorded for the end-of-binary report.
+pub fn run_custom(
+    workload: &str,
+    label: &str,
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    insts: u64,
+) -> RunResult {
+    let (stats, failure) = match try_simulate(program, cfg, predictor, insts) {
+        Ok(stats) => (stats, None),
+        Err(e) => {
+            let entry = format!("{workload} × {label}: {e}");
+            eprintln!("warning: degraded run — {entry}");
+            DEGRADED.lock().expect("degraded-run registry").push(entry);
+            (e.partial_stats().clone(), Some(e))
+        }
+    };
+    RunResult {
+        workload: workload.to_string(),
+        predictor: label.to_string(),
+        stats,
+        num_paths: predictor.num_paths(),
+        failure,
+    }
 }
 
 /// Runs one workload under one predictor on the given core.
@@ -62,13 +115,7 @@ pub fn run_one(
     let mut core_cfg = cfg.clone();
     core_cfg.train_point = kind.train_point();
     let mut predictor = kind.build(&program, budget.insts);
-    let stats = simulate(&program, &core_cfg, predictor.as_mut(), budget.insts);
-    RunResult {
-        workload: workload.name.to_string(),
-        predictor: kind.label(),
-        stats,
-        num_paths: predictor.num_paths(),
-    }
+    run_custom(workload.name, &kind.label(), &program, &core_cfg, predictor.as_mut(), budget.insts)
 }
 
 /// Runs every budgeted workload under one predictor; returns per-workload

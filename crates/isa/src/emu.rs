@@ -149,6 +149,7 @@ pub struct ExecRecord {
 /// emu.run(100).unwrap();
 /// assert_eq!(emu.reg(Reg(3)), 42);
 /// ```
+#[derive(Clone)]
 pub struct Emulator<'p> {
     program: &'p Program,
     regs: [u64; NUM_REGS],
@@ -181,6 +182,11 @@ impl<'p> Emulator<'p> {
         if !r.is_zero() {
             self.regs[r.index()] = value;
         }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
     }
 
     /// The architectural memory.

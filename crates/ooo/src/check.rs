@@ -1,0 +1,375 @@
+//! Simulation integrity: lockstep checking and fault injection.
+//!
+//! [`CommitChecker`] steps the `phast-isa` reference emulator once per
+//! committed uop and cross-checks pc, destination value, effective address
+//! and store data, so a value bug in the pipeline is caught at the first
+//! diverging commit instead of (maybe) at the end of a run by a separate
+//! equivalence test. [`CheckConfig`] selects which integrity machinery a
+//! [`Core`](crate::Core) carries: lockstep, periodic structural-invariant
+//! audits, and an optional seeded [`FaultPlan`] that deliberately corrupts
+//! speculation state to prove the recovery paths restore architectural
+//! correctness (the checker stays on and must stay silent).
+
+use crate::error::DivergenceReport;
+use phast_isa::{EmuError, Emulator, Pc, Program};
+use phast_mdp::DepPrediction;
+
+/// Which integrity machinery a core instance runs.
+///
+/// The default enables lockstep and invariant audits in debug builds
+/// (where tests live) and disables everything in release builds (where
+/// benchmarks live), so the checked configurations pay for checking and
+/// the measured configurations do not.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Cross-check every commit against the reference emulator.
+    pub lockstep: bool,
+    /// Audit structural invariants periodically.
+    pub invariants: bool,
+    /// Cycles between invariant audits.
+    pub invariant_interval: u64,
+    /// Deliberate corruption of speculation state, for recovery testing.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        let on = cfg!(debug_assertions);
+        CheckConfig { lockstep: on, invariants: on, invariant_interval: 4096, faults: None }
+    }
+}
+
+impl CheckConfig {
+    /// Everything on (regardless of build profile), auditing frequently.
+    pub fn full() -> CheckConfig {
+        CheckConfig { lockstep: true, invariants: true, invariant_interval: 512, faults: None }
+    }
+
+    /// Everything off (regardless of build profile).
+    pub fn off() -> CheckConfig {
+        CheckConfig { lockstep: false, invariants: false, invariant_interval: 4096, faults: None }
+    }
+
+    /// [`CheckConfig::full`] plus the given fault plan.
+    pub fn with_faults(plan: FaultPlan) -> CheckConfig {
+        CheckConfig { faults: Some(plan), ..CheckConfig::full() }
+    }
+}
+
+/// Lockstep co-simulation of the reference emulator against the core's
+/// commit stream.
+pub struct CommitChecker<'p> {
+    emu: Emulator<'p>,
+    checked: u64,
+}
+
+impl<'p> CommitChecker<'p> {
+    /// A checker positioned at the program entry.
+    pub fn new(program: &'p Program) -> CommitChecker<'p> {
+        CommitChecker { emu: Emulator::new(program), checked: 0 }
+    }
+
+    /// Commits successfully cross-checked so far.
+    pub fn checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// The reference emulator (for inspecting architectural state).
+    pub fn emulator(&self) -> &Emulator<'p> {
+        &self.emu
+    }
+
+    /// Steps the reference emulator once and compares its retired record
+    /// against one committed uop. Returns the first mismatch.
+    pub fn check_commit(
+        &mut self,
+        arch_seq: u64,
+        pc: Pc,
+        dst_value: Option<u64>,
+        eff_addr: Option<u64>,
+        store_data: Option<u64>,
+    ) -> Result<(), DivergenceReport> {
+        let fail = |field, expected, got| {
+            Err(DivergenceReport { arch_seq, core_pc: pc, field, expected, got })
+        };
+        let rec = match self.emu.step() {
+            Ok(Some(rec)) => rec,
+            // The reference halted earlier: the core fabricated commits.
+            Ok(None) => return fail("past-halt", None, Some(pc)),
+            // The reference faulted where the core committed normally.
+            Err(EmuError::BadRetTarget { value }) => {
+                return fail("emulator-error", Some(value), Some(pc))
+            }
+        };
+        if rec.seq != arch_seq {
+            return fail("arch-seq", Some(rec.seq), Some(arch_seq));
+        }
+        if rec.pc != pc {
+            return fail("pc", Some(rec.pc), Some(pc));
+        }
+        if rec.dst_value != dst_value {
+            return fail("dst-value", rec.dst_value, dst_value);
+        }
+        if rec.eff_addr != eff_addr {
+            return fail("eff-addr", rec.eff_addr, eff_addr);
+        }
+        if rec.store_data != store_data {
+            return fail("store-data", rec.store_data, store_data);
+        }
+        self.checked += 1;
+        Ok(())
+    }
+}
+
+/// Rates of deliberate speculation-state corruption, each out of 4096
+/// opportunities, driven by a seeded deterministic RNG.
+///
+/// Every fault corrupts *speculative* state only — dependence predictions,
+/// predictor training, squash decisions — so a correct core recovers and
+/// the lockstep checker stays silent. A fault that makes the checker fire
+/// is a real recovery bug.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// RNG seed; equal seeds reproduce the exact fault sequence.
+    pub seed: u64,
+    /// Rate of discarding a load's dependence prediction (forces
+    /// speculation, provoking real violations and lazy squashes).
+    pub drop_prediction: u32,
+    /// Rate of flipping the low bit of a predicted store distance
+    /// (mis-aims the wait at the wrong store).
+    pub flip_distance: u32,
+    /// Rate of fabricating a memory-order violation on a clean head load
+    /// (forces a spurious squash-and-refetch).
+    pub spurious_violation: u32,
+    /// Rate of feeding the predictor a fabricated violation when a load
+    /// commits (poisons predictor state).
+    pub corrupt_training: u32,
+}
+
+impl FaultPlan {
+    /// The named single-fault scenarios plus a combined one, used by the
+    /// recovery test suite. Rates are per 4096.
+    pub fn scenarios(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+        let zero = FaultPlan {
+            seed,
+            drop_prediction: 0,
+            flip_distance: 0,
+            spurious_violation: 0,
+            corrupt_training: 0,
+        };
+        vec![
+            ("drop-prediction", FaultPlan { drop_prediction: 128, ..zero }),
+            ("flip-distance", FaultPlan { seed: seed ^ 0x5c5c, flip_distance: 128, ..zero }),
+            (
+                "spurious-violation",
+                FaultPlan { seed: seed ^ 0xa3a3, spurious_violation: 16, ..zero },
+            ),
+            ("corrupt-training", FaultPlan { seed: seed ^ 0x7171, corrupt_training: 128, ..zero }),
+            (
+                "combined",
+                FaultPlan {
+                    seed: seed ^ 0x1f1f,
+                    drop_prediction: 48,
+                    flip_distance: 48,
+                    spurious_violation: 8,
+                    corrupt_training: 48,
+                },
+            ),
+        ]
+    }
+}
+
+/// Stateful executor of a [`FaultPlan`].
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+    injected: u64,
+    last_spurious_seq: Option<u64>,
+}
+
+impl FaultInjector {
+    /// An injector at the start of the plan's deterministic sequence.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { state: plan.seed, plan, injected: 0, last_spurious_seq: None }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// SplitMix64.
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&mut self, rate_per_4096: u32) -> bool {
+        rate_per_4096 > 0 && (self.next() & 0xfff) < u64::from(rate_per_4096)
+    }
+
+    /// Maybe corrupts a fresh load dependence prediction. Returns the
+    /// replacement prediction if a fault fired.
+    pub fn mangle_prediction(&mut self, dep: DepPrediction) -> Option<DepPrediction> {
+        if !matches!(dep, DepPrediction::None) && self.roll(self.plan.drop_prediction) {
+            self.injected += 1;
+            return Some(DepPrediction::None);
+        }
+        if let DepPrediction::Distance(d) = dep {
+            if self.roll(self.plan.flip_distance) {
+                self.injected += 1;
+                return Some(DepPrediction::Distance(d ^ 1));
+            }
+        }
+        None
+    }
+
+    /// Maybe fires a fabricated memory-order violation on the clean head
+    /// load with this architectural sequence number. Monotone in
+    /// `arch_seq` so the re-fetched load cannot re-fire the same fault
+    /// (which would livelock commit).
+    pub fn spurious_violation(&mut self, arch_seq: u64) -> bool {
+        if self.last_spurious_seq.is_some_and(|s| arch_seq <= s) {
+            return false;
+        }
+        if self.roll(self.plan.spurious_violation) {
+            self.injected += 1;
+            self.last_spurious_seq = Some(arch_seq);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Maybe poisons predictor training at a load commit.
+    pub fn corrupt_training(&mut self) -> bool {
+        if self.roll(self.plan.corrupt_training) {
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A small random store distance for fabricated training records.
+    pub fn small_distance(&mut self) -> u32 {
+        (self.next() & 3) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phast_isa::{MemSize, ProgramBuilder, Reg};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.at(e)
+            .li(Reg(1), 0x2000)
+            .li(Reg(2), 42)
+            .store(Reg(1), 0, Reg(2), MemSize::B8)
+            .load(Reg(3), Reg(1), 0, MemSize::B8)
+            .halt();
+        b.set_entry(e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn checker_accepts_the_reference_stream() {
+        let p = tiny_program();
+        let mut reference = Emulator::new(&p);
+        let mut checker = CommitChecker::new(&p);
+        while let Some(rec) = reference.step().unwrap() {
+            checker
+                .check_commit(rec.seq, rec.pc, rec.dst_value, rec.eff_addr, rec.store_data)
+                .unwrap();
+        }
+        assert_eq!(checker.checked(), 5);
+    }
+
+    #[test]
+    fn checker_reports_first_divergence() {
+        let p = tiny_program();
+        let mut reference = Emulator::new(&p);
+        let mut checker = CommitChecker::new(&p);
+        let rec = reference.step().unwrap().unwrap();
+        let report = checker
+            .check_commit(rec.seq, rec.pc, Some(0xbad), rec.eff_addr, rec.store_data)
+            .unwrap_err();
+        assert_eq!(report.field, "dst-value");
+        assert_eq!(report.expected, Some(0x2000));
+        assert_eq!(report.got, Some(0xbad));
+    }
+
+    #[test]
+    fn checker_flags_commits_past_halt() {
+        let p = tiny_program();
+        let mut checker = CommitChecker::new(&p);
+        for seq in 0..5 {
+            // Drive the checker with its own reference to stay aligned.
+            let mut r = Emulator::new(&p);
+            for _ in 0..seq {
+                r.step().unwrap();
+            }
+            let rec = r.step().unwrap().unwrap();
+            checker
+                .check_commit(rec.seq, rec.pc, rec.dst_value, rec.eff_addr, rec.store_data)
+                .unwrap();
+        }
+        let report = checker.check_commit(5, 0x99, None, None, None).unwrap_err();
+        assert_eq!(report.field, "past-halt");
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_prediction: 2048,
+            flip_distance: 2048,
+            spurious_violation: 2048,
+            corrupt_training: 2048,
+        };
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for i in 0..200 {
+            assert_eq!(
+                a.mangle_prediction(DepPrediction::Distance(i)),
+                b.mangle_prediction(DepPrediction::Distance(i))
+            );
+            assert_eq!(a.spurious_violation(u64::from(i)), b.spurious_violation(u64::from(i)));
+            assert_eq!(a.corrupt_training(), b.corrupt_training());
+        }
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0, "rates of 1/2 must fire within 600 rolls");
+    }
+
+    #[test]
+    fn spurious_violation_never_refires_for_the_same_load() {
+        let plan = FaultPlan {
+            seed: 1,
+            drop_prediction: 0,
+            flip_distance: 0,
+            spurious_violation: 4096, // always
+            corrupt_training: 0,
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.spurious_violation(10));
+        // The squashed load re-reaches commit with the same arch_seq.
+        assert!(!inj.spurious_violation(10));
+        assert!(inj.spurious_violation(11));
+    }
+
+    #[test]
+    fn scenarios_cover_every_fault_kind() {
+        let s = FaultPlan::scenarios(42);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().any(|(_, p)| p.drop_prediction > 0));
+        assert!(s.iter().any(|(_, p)| p.flip_distance > 0));
+        assert!(s.iter().any(|(_, p)| p.spurious_violation > 0));
+        assert!(s.iter().any(|(_, p)| p.corrupt_training > 0));
+    }
+}

@@ -1,6 +1,7 @@
 //! Core configuration and the processor-generation presets used by the
 //! paper's Fig. 2 trend study.
 
+use crate::check::CheckConfig;
 use phast_mem::HierarchyConfig;
 
 /// How memory-order violations squash the pipeline (§IV-A1).
@@ -98,6 +99,9 @@ pub struct CoreConfig {
     pub forwarding_filter: bool,
     /// Safety net: abort if no instruction commits for this many cycles.
     pub deadlock_cycles: u64,
+    /// Integrity machinery (lockstep checking, invariant audits, fault
+    /// injection). The default is on in debug builds, off in release.
+    pub check: CheckConfig,
 }
 
 impl CoreConfig {
@@ -121,6 +125,7 @@ impl CoreConfig {
             indirect_predictor: IndirectPredictorKind::Ittage,
             forwarding_filter: true,
             deadlock_cycles: 200_000,
+            check: CheckConfig::default(),
         }
     }
 
@@ -156,6 +161,7 @@ impl CoreConfig {
             indirect_predictor: IndirectPredictorKind::Ittage,
             forwarding_filter: true,
             deadlock_cycles: 200_000,
+            check: CheckConfig::default(),
         }
     }
 
@@ -191,6 +197,7 @@ impl CoreConfig {
             indirect_predictor: IndirectPredictorKind::Ittage,
             forwarding_filter: true,
             deadlock_cycles: 200_000,
+            check: CheckConfig::default(),
         }
     }
 
@@ -226,6 +233,7 @@ impl CoreConfig {
             indirect_predictor: IndirectPredictorKind::Ittage,
             forwarding_filter: true,
             deadlock_cycles: 200_000,
+            check: CheckConfig::default(),
         }
     }
 

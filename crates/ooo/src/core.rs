@@ -16,7 +16,9 @@
 //! forwarded the load's data, Fig. 3c) is a config toggle evaluated by
 //! Fig. 12.
 
+use crate::check::{CommitChecker, FaultInjector};
 use crate::config::{CoreConfig, IndirectPredictorKind, MemSquashPolicy, TrainPoint};
+use crate::error::{HeadUop, PipelineSnapshot, SimError};
 use crate::stats::SimStats;
 use phast_branch::{
     DirectionPredictor, DivergentEvent, DivergentHistory, HistoryCheckpoint, Ittage, IttageConfig,
@@ -184,6 +186,10 @@ pub struct Core<'a> {
     stats: SimStats,
     halted: bool,
     commit_log: Option<Vec<CommitRecord>>,
+
+    // Integrity machinery (see `cfg.check`).
+    checker: Option<CommitChecker<'a>>,
+    injector: Option<FaultInjector>,
 }
 
 /// One committed instruction, for equivalence checks against the
@@ -208,6 +214,8 @@ impl<'a> Core<'a> {
         predictor: &'a mut dyn MemDepPredictor,
         direction: Box<dyn DirectionPredictor>,
     ) -> Core<'a> {
+        let checker = cfg.check.lockstep.then(|| CommitChecker::new(program));
+        let injector = cfg.check.faults.map(FaultInjector::new);
         Core {
             mem: Hierarchy::new(cfg.memory),
             cursor: Some((program.entry(), 0)),
@@ -243,6 +251,8 @@ impl<'a> Core<'a> {
             stats: SimStats::default(),
             halted: false,
             commit_log: None,
+            checker,
+            injector,
             program,
             cfg,
             predictor,
@@ -251,22 +261,89 @@ impl<'a> Core<'a> {
     }
 
     /// Runs until `max_insts` have committed, the program halts, or
-    /// `max_cycles` elapse. Returns the accumulated statistics.
+    /// `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the watchdog trips (no commit for
+    /// `deadlock_cycles`, or the cycle ceiling elapses before the run
+    /// finishes), if the committed path executes a corrupt `Ret`, or —
+    /// when enabled by [`CoreConfig::check`] — on the first lockstep
+    /// divergence from the reference emulator or failed invariant audit.
+    pub fn try_run(&mut self, max_insts: u64, max_cycles: u64) -> Result<SimStats, SimError> {
+        while !self.halted && self.stats.committed < max_insts && self.cycle < max_cycles {
+            self.try_step()?;
+        }
+        if !self.halted && self.stats.committed < max_insts {
+            return Err(SimError::CycleCeiling { max_cycles, snapshot: self.snapshot() });
+        }
+        Ok(self.collect_stats())
+    }
+
+    /// Legacy entry point: like [`Core::try_run`] but infallible.
+    ///
+    /// A hit cycle ceiling is logged and returns the partial statistics
+    /// with [`SimStats::ceiling_hit`] set (callers that must distinguish
+    /// truncation should use `try_run`).
     ///
     /// # Panics
     ///
-    /// Panics if no instruction commits for `deadlock_cycles` (a core
-    /// model bug) or if the committed path executes a corrupt `Ret`.
+    /// Panics on every other [`SimError`] (deadlock, lockstep divergence,
+    /// invariant violation, corrupt committed `Ret`).
     pub fn run(&mut self, max_insts: u64, max_cycles: u64) -> SimStats {
-        while !self.halted && self.stats.committed < max_insts && self.cycle < max_cycles {
-            self.step();
+        match self.try_run(max_insts, max_cycles) {
+            Ok(stats) => stats,
+            Err(SimError::CycleCeiling { max_cycles, snapshot }) => {
+                eprintln!(
+                    "warning: cycle ceiling {max_cycles} hit; statistics are truncated ({})",
+                    snapshot
+                );
+                let mut stats = snapshot.stats;
+                stats.ceiling_hit = true;
+                stats
+            }
+            Err(e) => panic!("simulation failed: {e}"),
         }
+    }
+
+    /// Statistics as of now (used for both clean finishes and snapshots).
+    fn collect_stats(&self) -> SimStats {
         let mut stats = self.stats.clone();
         stats.cycles = self.cycle;
         stats.halted = self.halted;
         stats.predictor_accesses = self.predictor.access_stats();
         stats.memory = self.mem.stats();
+        if let Some(c) = &self.checker {
+            stats.checked_commits = c.checked();
+        }
+        if let Some(i) = &self.injector {
+            stats.injected_faults = i.injected();
+        }
         stats
+    }
+
+    /// Captures the observable pipeline state for a [`SimError`].
+    fn snapshot(&self) -> Box<PipelineSnapshot> {
+        Box::new(PipelineSnapshot {
+            cycle: self.cycle,
+            last_commit_cycle: self.last_commit_cycle,
+            stats: self.collect_stats(),
+            rob_len: self.rob.len(),
+            rob_head_token: self.rob_head_token,
+            head: self.rob.front().map(|u| HeadUop {
+                token: u.token,
+                arch_seq: u.arch_seq,
+                pc: u.pc,
+                class: u.class,
+                issued: u.issued,
+                completed: u.completed,
+            }),
+            unissued: self.unissued,
+            lq_count: self.lq_count,
+            sq_tokens: self.sq_tokens.clone(),
+            sb_pending: self.sb_drains.len(),
+            cursor: self.cursor,
+        })
     }
 
     /// Starts recording every committed instruction, for equivalence
@@ -291,20 +368,26 @@ impl<'a> Core<'a> {
     }
 
     /// Advances one cycle: commit → writeback → issue → fetch.
-    fn step(&mut self) {
+    fn try_step(&mut self) -> Result<(), SimError> {
         self.drain_store_buffer();
-        self.commit();
+        self.commit()?;
         self.writeback();
         self.issue();
         self.fetch();
         self.cycle += 1;
-        assert!(
-            self.cycle - self.last_commit_cycle <= self.cfg.deadlock_cycles,
-            "deadlock at cycle {}: rob={} head={:?}",
-            self.cycle,
-            self.rob.len(),
-            self.rob.front().map(|u| (u.token, u.class, u.issued, u.completed)),
-        );
+        let stalled_cycles = self.cycle - self.last_commit_cycle;
+        if stalled_cycles > self.cfg.deadlock_cycles {
+            return Err(SimError::Deadlock { stalled_cycles, snapshot: self.snapshot() });
+        }
+        if self.cfg.check.invariants
+            && self.cycle.is_multiple_of(self.cfg.check.invariant_interval.max(1))
+        {
+            self.stats.invariant_audits += 1;
+            if let Err(description) = self.audit_invariants() {
+                return Err(SimError::Invariant { description, snapshot: self.snapshot() });
+            }
+        }
+        Ok(())
     }
 
     #[inline]
@@ -346,7 +429,7 @@ impl<'a> Core<'a> {
         }
     }
 
-    fn commit(&mut self) {
+    fn commit(&mut self) -> Result<(), SimError> {
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.rob.front() else { break };
             if !head.completed {
@@ -357,12 +440,27 @@ impl<'a> Core<'a> {
                     self.commit_violation(v);
                     break;
                 }
+                // Fault injection: pretend a clean head load mis-speculated,
+                // forcing the lazy squash-and-refetch path with (possibly)
+                // garbage training. Recovery must be architecturally exact.
+                let (pc, arch_seq) = (head.pc, head.arch_seq);
+                if self.injector.as_mut().is_some_and(|i| i.spurious_violation(arch_seq)) {
+                    let v = PendingViolation {
+                        store_pc: pc,
+                        store_token: self.rob_head_token.saturating_sub(1),
+                        store_distance: 0,
+                        history_len: 0,
+                    };
+                    self.commit_violation(v);
+                    break;
+                }
             }
-            self.commit_one();
+            self.commit_one()?;
             if self.halted {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Lazy squash: the head load was mispeculated; train, squash from the
@@ -404,7 +502,7 @@ impl<'a> Core<'a> {
         self.last_commit_cycle = self.cycle; // forward progress: re-execution
     }
 
-    fn commit_one(&mut self) {
+    fn commit_one(&mut self) -> Result<(), SimError> {
         let u = self.rob.pop_front().expect("head exists");
         self.rob_head_token += 1;
         self.stats.committed += 1;
@@ -469,6 +567,22 @@ impl<'a> Core<'a> {
                 if u.mdp_delayed {
                     self.stats.mdp_stalled_loads += 1;
                 }
+                // Fault injection: poison the predictor with a fabricated
+                // violation. Later predictions go wrong, but wrong
+                // predictions may only cost cycles, never correctness.
+                if self.injector.as_mut().is_some_and(|i| i.corrupt_training()) {
+                    let d = self.injector.as_mut().expect("injected").small_distance();
+                    self.predictor.train_violation(&Violation {
+                        load_pc: u.pc,
+                        store_pc: u.pc ^ 0x40,
+                        store_distance: d,
+                        history_len: 0,
+                        history: &self.commit_hist,
+                        load_token: u.token,
+                        store_token: u.token.wrapping_sub(1),
+                        prior: u.prediction,
+                    });
+                }
                 self.predictor.load_committed(&LoadCommit {
                     pc: u.pc,
                     prediction: u.prediction,
@@ -491,15 +605,31 @@ impl<'a> Core<'a> {
                     self.commit_hist.push(ev);
                 }
                 if matches!(inst.op, Op::Ret) && u.actual_next.is_none() {
-                    panic!("committed Ret with corrupt target at pc {:#x}", u.pc);
+                    let target = u.actual_event.map_or(0, |e| e.target);
+                    return Err(SimError::CorruptRet {
+                        pc: u.pc,
+                        target,
+                        snapshot: self.snapshot(),
+                    });
                 }
             }
             _ => {}
         }
 
+        // Lockstep: this commit must match the reference emulator's next
+        // retired instruction exactly.
+        if let Some(checker) = &mut self.checker {
+            let result =
+                checker.check_commit(u.arch_seq, u.pc, u.dst.and(u.result), u.addr, u.store_data);
+            if let Err(report) = result {
+                return Err(SimError::Divergence { report, snapshot: self.snapshot() });
+            }
+        }
+
         if u.is_halt {
             self.halted = true;
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1072,6 +1202,13 @@ impl<'a> Core<'a> {
                 older_stores: self.sq_tokens.len() as u32,
             };
             prediction = self.predictor.predict_load(&q);
+            // Fault injection: corrupt the fresh prediction (drop it or
+            // mis-aim its distance) before the wait is resolved.
+            if let Some(injector) = &mut self.injector {
+                if let Some(dep) = injector.mangle_prediction(prediction.dep) {
+                    prediction.dep = dep;
+                }
+            }
             wait = self.resolve_wait(prediction.dep);
             self.lq_count += 1;
         } else if inst.op.is_store() {
@@ -1185,6 +1322,114 @@ impl<'a> Core<'a> {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant audit
+    // ------------------------------------------------------------------
+
+    /// Checks the structural invariants the rest of the core relies on.
+    /// Returns a description of the first violated one.
+    ///
+    /// Runs every [`CheckConfig::invariant_interval`] cycles when enabled;
+    /// a failure means the pipeline state is already corrupt even if no
+    /// committed value has diverged yet.
+    fn audit_invariants(&self) -> Result<(), String> {
+        // ROB tokens are dense and ascending from the head (token - head
+        // indexes the ROB; `rob_index` and `store_done` depend on this).
+        for (i, u) in self.rob.iter().enumerate() {
+            let expect = self.rob_head_token + i as u64;
+            if u.token != expect {
+                return Err(format!(
+                    "ROB not token-dense: position {i} holds token {} (expected {expect})",
+                    u.token
+                ));
+            }
+        }
+        // Derived occupancy counters match the ROB contents.
+        let unissued = self.rob.iter().filter(|u| !u.issued).count();
+        if unissued != self.unissued {
+            return Err(format!(
+                "unissued counter {} != {} unissued uops in ROB",
+                self.unissued, unissued
+            ));
+        }
+        let loads = self.rob.iter().filter(|u| u.class == ExecClass::Load).count();
+        if loads != self.lq_count {
+            return Err(format!("lq_count {} != {} loads in ROB", self.lq_count, loads));
+        }
+        // The SQ is exactly the in-flight stores in age order (so every SQ
+        // token is a live ROB token, and ages are strictly ascending).
+        let stores: Vec<u64> =
+            self.rob.iter().filter(|u| u.class == ExecClass::Store).map(|u| u.token).collect();
+        if stores != self.sq_tokens {
+            return Err(format!(
+                "SQ {:?} != in-flight stores {:?} in ROB order",
+                self.sq_tokens, stores
+            ));
+        }
+        // Structural capacities hold.
+        if self.rob.len() > self.cfg.rob_size {
+            return Err(format!("ROB over capacity: {} > {}", self.rob.len(), self.cfg.rob_size));
+        }
+        if self.unissued > self.cfg.iq_size {
+            return Err(format!("IQ over capacity: {} > {}", self.unissued, self.cfg.iq_size));
+        }
+        if self.lq_count > self.cfg.lq_size {
+            return Err(format!("LQ over capacity: {} > {}", self.lq_count, self.cfg.lq_size));
+        }
+        if self.sq_tokens.len() + self.sb_drains.len() > self.cfg.sq_size {
+            return Err(format!(
+                "SQ+SB over capacity: {} + {} > {}",
+                self.sq_tokens.len(),
+                self.sb_drains.len(),
+                self.cfg.sq_size
+            ));
+        }
+        // Every RAT entry names the youngest surviving writer of its
+        // register. A squash can rewind an entry to a producer that has
+        // since committed — rename reads that as architectural state, so
+        // it is legal, but then no in-flight writer may exist (a younger
+        // surviving rename would own the entry).
+        for r in 0..NUM_REGS {
+            let Some(t) = self.rat[r] else { continue };
+            if t < self.rob_head_token {
+                if let Some(w) =
+                    self.rob.iter().find(|y| y.dst.map(|d| d.index()) == Some(r))
+                {
+                    return Err(format!(
+                        "RAT[r{r}] names committed token {t} but token {} writes r{r} in flight",
+                        w.token
+                    ));
+                }
+                continue;
+            }
+            let idx = (t - self.rob_head_token) as usize;
+            let Some(u) = self.rob.get(idx) else {
+                return Err(format!("RAT[r{r}] names token {t} beyond the ROB tail"));
+            };
+            if u.dst.map(|d| d.index()) != Some(r) {
+                return Err(format!(
+                    "RAT[r{r}] names token {t}, whose destination is {:?}",
+                    u.dst
+                ));
+            }
+            if let Some(younger) =
+                self.rob.iter().skip(idx + 1).find(|y| y.dst.map(|d| d.index()) == Some(r))
+            {
+                return Err(format!(
+                    "RAT[r{r}] names token {t} but token {} also writes r{r}",
+                    younger.token
+                ));
+            }
+        }
+        // The fetch cursor points inside the program.
+        if let Some((b, i)) = self.cursor {
+            if i >= self.program.block(b).insts.len() {
+                return Err(format!("fetch cursor ({b:?}, {i}) is past the end of its block"));
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------

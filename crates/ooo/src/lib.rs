@@ -11,6 +11,17 @@
 //! the older-generation presets used by the paper's Fig. 2, and
 //! [`simulate`] for the one-call entry point.
 //!
+//! # Simulation integrity
+//!
+//! [`try_simulate`] is the fallible entry point: it returns a structured
+//! [`SimError`] (with a [`PipelineSnapshot`] of the failing state) instead
+//! of panicking or silently truncating. [`CheckConfig`] on
+//! [`CoreConfig::check`] controls the integrity machinery — lockstep
+//! co-simulation against the `phast-isa` reference emulator, periodic
+//! structural-invariant audits, and seeded [`FaultPlan`] injection for
+//! exercising the recovery paths. Checking defaults to on in debug builds
+//! and off in release builds.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,12 +48,19 @@
 
 #![warn(missing_docs)]
 
+mod check;
 mod config;
 mod core;
+mod error;
 mod runner;
 mod stats;
 
 pub use crate::core::{CommitRecord, Core};
+pub use check::{CheckConfig, CommitChecker, FaultInjector, FaultPlan};
 pub use config::{CoreConfig, IndirectPredictorKind, MemSquashPolicy, Ports, TrainPoint};
-pub use runner::{simulate, simulate_with_direction, DEFAULT_MAX_INSTS};
+pub use error::{DivergenceReport, HeadUop, PipelineSnapshot, SimError};
+pub use runner::{
+    simulate, simulate_with_direction, try_simulate, try_simulate_for,
+    try_simulate_with_direction, DEFAULT_MAX_INSTS,
+};
 pub use stats::SimStats;

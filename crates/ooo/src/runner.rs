@@ -2,6 +2,7 @@
 
 use crate::config::CoreConfig;
 use crate::core::Core;
+use crate::error::SimError;
 use crate::stats::SimStats;
 use phast_branch::{DirectionPredictor, Tage, TageConfig};
 use phast_isa::Program;
@@ -10,9 +11,78 @@ use phast_mdp::MemDepPredictor;
 /// Default instruction budget used by the experiment harness.
 pub const DEFAULT_MAX_INSTS: u64 = 1_000_000;
 
+/// Generous default cycle ceiling: even IPC 0.05 finishes within it.
+fn default_max_cycles(max_insts: u64) -> u64 {
+    max_insts.saturating_mul(20).max(1_000_000)
+}
+
 /// Simulates `program` on a core described by `cfg`, using `predictor` for
 /// memory dependence prediction and a TAGE conditional branch predictor,
 /// until `max_insts` commit or the program halts.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the run cannot finish cleanly: the watchdog
+/// trips (deadlock or cycle ceiling), the committed path executes a corrupt
+/// `Ret`, or — when enabled by [`CoreConfig::check`] — the commit stream
+/// diverges from the reference emulator or an invariant audit fails.
+pub fn try_simulate(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    max_insts: u64,
+) -> Result<SimStats, SimError> {
+    try_simulate_with_direction(
+        program,
+        cfg,
+        predictor,
+        Box::new(Tage::new(TageConfig::default())),
+        max_insts,
+    )
+}
+
+/// Like [`try_simulate`] but with an explicit conditional-direction
+/// predictor (the Fig. 1 trend study sweeps these).
+///
+/// # Errors
+///
+/// As for [`try_simulate`].
+pub fn try_simulate_with_direction(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    direction: Box<dyn DirectionPredictor>,
+    max_insts: u64,
+) -> Result<SimStats, SimError> {
+    try_simulate_for(program, cfg, predictor, direction, max_insts, default_max_cycles(max_insts))
+}
+
+/// Full-control variant: explicit direction predictor *and* cycle ceiling.
+///
+/// # Errors
+///
+/// As for [`try_simulate`].
+pub fn try_simulate_for(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    direction: Box<dyn DirectionPredictor>,
+    max_insts: u64,
+    max_cycles: u64,
+) -> Result<SimStats, SimError> {
+    let mut core = Core::new(program, cfg.clone(), predictor, direction);
+    core.try_run(max_insts, max_cycles)
+}
+
+/// Legacy infallible entry point over [`try_simulate`].
+///
+/// A hit cycle ceiling is logged to stderr and returns the truncated
+/// statistics with [`SimStats::ceiling_hit`] set (previously truncation was
+/// silent and indistinguishable from a clean finish).
+///
+/// # Panics
+///
+/// Panics on every other [`SimError`].
 pub fn simulate(
     program: &Program,
     cfg: &CoreConfig,
@@ -28,8 +98,11 @@ pub fn simulate(
     )
 }
 
-/// Like [`simulate`] but with an explicit conditional-direction predictor
-/// (the Fig. 1 trend study sweeps these).
+/// Like [`simulate`] but with an explicit conditional-direction predictor.
+///
+/// # Panics
+///
+/// As for [`simulate`].
 pub fn simulate_with_direction(
     program: &Program,
     cfg: &CoreConfig,
@@ -37,8 +110,16 @@ pub fn simulate_with_direction(
     direction: Box<dyn DirectionPredictor>,
     max_insts: u64,
 ) -> SimStats {
-    let mut core = Core::new(program, cfg.clone(), predictor, direction);
-    // Generous cycle ceiling: even IPC 0.05 finishes within it.
-    let max_cycles = max_insts.saturating_mul(20).max(1_000_000);
-    core.run(max_insts, max_cycles)
+    match try_simulate_with_direction(program, cfg, predictor, direction, max_insts) {
+        Ok(stats) => stats,
+        Err(SimError::CycleCeiling { max_cycles, snapshot }) => {
+            eprintln!(
+                "warning: cycle ceiling {max_cycles} hit; statistics are truncated ({snapshot})"
+            );
+            let mut stats = snapshot.stats;
+            stats.ceiling_hit = true;
+            stats
+        }
+        Err(e) => panic!("simulation failed: {e}"),
+    }
 }

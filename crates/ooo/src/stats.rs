@@ -39,6 +39,17 @@ pub struct SimStats {
     pub memory: HierarchyStats,
     /// True if the program ran to its `Halt` before any budget expired.
     pub halted: bool,
+    /// True if the cycle ceiling expired before the run finished: the
+    /// statistics are truncated mid-flight, not a clean sample. Only set
+    /// by the infallible legacy entry points; `try_run`/`try_simulate`
+    /// report the ceiling as an error instead.
+    pub ceiling_hit: bool,
+    /// Commits cross-checked against the reference emulator (lockstep).
+    pub checked_commits: u64,
+    /// Faults deliberately injected into speculation state.
+    pub injected_faults: u64,
+    /// Structural-invariant audits performed.
+    pub invariant_audits: u64,
 }
 
 impl SimStats {

@@ -1,0 +1,154 @@
+//! Shared random-program generator for the cross-crate property tests.
+//!
+//! Generates terminating programs (every control edge goes forward) that
+//! mix ALU ops, multiplies, divides, loads and stores of every size, and
+//! conditional/indirect control flow. Memory accesses are funnelled into a
+//! small window around 0x1000 so store-to-load conflicts are frequent.
+
+#![allow(dead_code)]
+
+use phast_isa::{AluKind, CondKind, MemSize, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// One randomly generated instruction (no control flow).
+#[derive(Clone, Debug)]
+pub enum RandInst {
+    Alu(AluKind, u8, u8, u8),
+    AluImm(AluKind, u8, u8, i8),
+    Li(u8, i16),
+    Mul(u8, u8, u8),
+    Div(u8, u8, u8),
+    Load(u8, u8, u8, MemSize),
+    Store(u8, u8, u8, MemSize),
+}
+
+pub fn reg_strategy() -> impl Strategy<Value = u8> {
+    1u8..10
+}
+
+pub fn size_strategy() -> impl Strategy<Value = MemSize> {
+    prop_oneof![
+        Just(MemSize::B1),
+        Just(MemSize::B2),
+        Just(MemSize::B4),
+        Just(MemSize::B8)
+    ]
+}
+
+pub fn alu_strategy() -> impl Strategy<Value = AluKind> {
+    prop_oneof![
+        Just(AluKind::Add),
+        Just(AluKind::Sub),
+        Just(AluKind::And),
+        Just(AluKind::Or),
+        Just(AluKind::Xor),
+        Just(AluKind::Shl),
+        Just(AluKind::Shr),
+        Just(AluKind::SltU),
+    ]
+}
+
+pub fn inst_strategy() -> impl Strategy<Value = RandInst> {
+    prop_oneof![
+        (alu_strategy(), reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(k, d, a, b)| RandInst::Alu(k, d, a, b)),
+        (alu_strategy(), reg_strategy(), reg_strategy(), any::<i8>())
+            .prop_map(|(k, d, a, i)| RandInst::AluImm(k, d, a, i)),
+        (reg_strategy(), any::<i16>()).prop_map(|(d, i)| RandInst::Li(d, i)),
+        (reg_strategy(), reg_strategy(), reg_strategy()).prop_map(|(d, a, b)| RandInst::Mul(d, a, b)),
+        (reg_strategy(), reg_strategy(), reg_strategy()).prop_map(|(d, a, b)| RandInst::Div(d, a, b)),
+        // Loads/stores address a small window around 0x1000 through a
+        // masked base register, so conflicts are frequent.
+        (reg_strategy(), reg_strategy(), 0u8..32, size_strategy())
+            .prop_map(|(d, b, off, s)| RandInst::Load(d, b, off, s)),
+        (reg_strategy(), reg_strategy(), 0u8..32, size_strategy())
+            .prop_map(|(b, v, off, s)| RandInst::Store(b, v, off, s)),
+    ]
+}
+
+/// One block: instructions plus how it ends (value selects the edge).
+#[derive(Clone, Debug)]
+pub struct RandBlock {
+    pub insts: Vec<RandInst>,
+    /// 0 = fallthrough, 1 = jump ahead, 2 = cond branch, 3 = indirect.
+    pub terminator: u8,
+    pub skip: u8,
+    pub cond_reg: u8,
+}
+
+pub fn block_strategy() -> impl Strategy<Value = RandBlock> {
+    (
+        prop::collection::vec(inst_strategy(), 1..8),
+        0u8..4,
+        1u8..3,
+        reg_strategy(),
+    )
+        .prop_map(|(insts, terminator, skip, cond_reg)| RandBlock {
+            insts,
+            terminator,
+            skip,
+            cond_reg,
+        })
+}
+
+/// Builds a terminating program: every control edge goes forward.
+pub fn build_program(blocks: &[RandBlock]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let n = blocks.len();
+    let handles: Vec<_> = (0..=n).map(|_| b.block()).collect(); // +1 exit block
+
+    for (i, spec) in blocks.iter().enumerate() {
+        let mut c = b.at(handles[i]);
+        // Constrain memory bases into a small window so loads/stores
+        // collide often: base = 0x1000 + (reg & 0x38).
+        c.li(Reg(15), 0x1000);
+        for inst in &spec.insts {
+            match *inst {
+                RandInst::Alu(k, d, a, bb) => {
+                    c.alu(k, Reg(d), Reg(a), Reg(bb));
+                }
+                RandInst::AluImm(k, d, a, imm) => {
+                    c.alui(k, Reg(d), Reg(a), i64::from(imm));
+                }
+                RandInst::Li(d, imm) => {
+                    c.li(Reg(d), i64::from(imm));
+                }
+                RandInst::Mul(d, a, bb) => {
+                    c.mul(Reg(d), Reg(a), Reg(bb));
+                }
+                RandInst::Div(d, a, bb) => {
+                    c.div(Reg(d), Reg(a), Reg(bb));
+                }
+                RandInst::Load(d, base, off, s) => {
+                    c.andi(Reg(14), Reg(base), 0x38);
+                    c.add(Reg(14), Reg(14), Reg(15));
+                    c.load(Reg(d), Reg(14), i64::from(off), s);
+                }
+                RandInst::Store(base, v, off, s) => {
+                    c.andi(Reg(14), Reg(base), 0x38);
+                    c.add(Reg(14), Reg(14), Reg(15));
+                    c.store(Reg(14), i64::from(off), Reg(v), s);
+                }
+            }
+        }
+        let next = handles[i + 1];
+        let ahead = handles[(i + spec.skip as usize + 1).min(n)];
+        match spec.terminator {
+            0 => {
+                c.fallthrough(next);
+            }
+            1 => {
+                c.jump(ahead);
+            }
+            2 => {
+                c.branchi(CondKind::LtU, Reg(spec.cond_reg), 0x4000, ahead).fallthrough(next);
+            }
+            _ => {
+                c.indirect_jump(Reg(spec.cond_reg), &[next, ahead]);
+            }
+        }
+    }
+    b.at(handles[n]).halt();
+    b.set_entry(handles[0]);
+    b.build().expect("generated program validates")
+}
