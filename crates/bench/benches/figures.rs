@@ -1,53 +1,55 @@
 //! One Criterion bench per figure of the paper's evaluation. Each bench
 //! invokes the same experiment runner the `phast-experiments` binary uses,
 //! at a reduced budget (the shapes reported in EXPERIMENTS.md come from
-//! the full-budget binary).
+//! the full-budget binary). Pass `--parallel` (or set `PHAST_WORKERS`) to
+//! bench the parallel sweep engine instead of the serial path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use phast_bench::bench_budget;
+use phast_bench::{bench_budget, bench_sweep};
 use phast_experiments::figures;
 use std::hint::black_box;
 
 fn bench_figures(c: &mut Criterion) {
     let budget = bench_budget();
+    let sweep = bench_sweep();
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
 
     g.bench_function("fig01_mpki_history", |b| {
-        b.iter(|| black_box(figures::fig1::run(&budget)))
+        b.iter(|| black_box(figures::fig1::run(&sweep, &budget)))
     });
     g.bench_function("fig02_generations", |b| {
-        b.iter(|| black_box(figures::fig2::run(&budget)))
+        b.iter(|| black_box(figures::fig2::run(&sweep, &budget)))
     });
     g.bench_function("fig04_multistore", |b| {
-        b.iter(|| black_box(figures::fig4::run(&budget)))
+        b.iter(|| black_box(figures::fig4::run(&sweep, &budget)))
     });
     g.bench_function("fig06_unlimited", |b| {
-        b.iter(|| black_box(figures::fig6::run(&budget)))
+        b.iter(|| black_box(figures::fig6::run(&sweep, &budget)))
     });
     g.bench_function("fig07_09_unlimited_phast", |b| {
-        b.iter(|| black_box(figures::fig789::run(&budget)))
+        b.iter(|| black_box(figures::fig789::run(&sweep, &budget)))
     });
     g.bench_function("fig10_hist_lengths", |b| {
-        b.iter(|| black_box(figures::fig10::run(&budget)))
+        b.iter(|| black_box(figures::fig10::run(&sweep, &budget)))
     });
     g.bench_function("fig11_max_history", |b| {
-        b.iter(|| black_box(figures::fig11::run(&budget)))
+        b.iter(|| black_box(figures::fig11::run(&sweep, &budget)))
     });
     g.bench_function("fig12_fwd_filter", |b| {
-        b.iter(|| black_box(figures::fig12::run(&budget)))
+        b.iter(|| black_box(figures::fig12::run(&sweep, &budget)))
     });
     g.bench_function("fig13_storage_sweep", |b| {
-        b.iter(|| black_box(figures::fig13::run(&budget)))
+        b.iter(|| black_box(figures::fig13::run(&sweep, &budget)))
     });
     g.bench_function("fig14_mpki", |b| {
-        b.iter(|| black_box(figures::fig14::run(&budget)))
+        b.iter(|| black_box(figures::fig14::run(&sweep, &budget)))
     });
     g.bench_function("fig15_ipc", |b| {
-        b.iter(|| black_box(figures::fig15::run(&budget)))
+        b.iter(|| black_box(figures::fig15::run(&sweep, &budget)))
     });
     g.bench_function("fig16_energy", |b| {
-        b.iter(|| black_box(figures::fig16::run(&budget)))
+        b.iter(|| black_box(figures::fig16::run(&sweep, &budget)))
     });
     g.finish();
 }

@@ -1,19 +1,20 @@
 //! Criterion benches for the paper's Table I and Table II.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use phast_bench::bench_budget;
+use phast_bench::{bench_budget, bench_sweep};
 use phast_experiments::figures;
 use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
     let budget = bench_budget();
+    let sweep = bench_sweep();
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
     g.bench_function("table1_system_config", |b| {
-        b.iter(|| black_box(figures::table1::run(&budget)))
+        b.iter(|| black_box(figures::table1::run(&sweep, &budget)))
     });
     g.bench_function("table2_predictor_configs", |b| {
-        b.iter(|| black_box(figures::table2::run(&budget)))
+        b.iter(|| black_box(figures::table2::run(&sweep, &budget)))
     });
     g.finish();
 }

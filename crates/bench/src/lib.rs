@@ -8,8 +8,36 @@
 //! * `benches/tables.rs` — Table I/II generation.
 //! * `benches/predictor_micro.rs` — microbenchmarks of the predictors'
 //!   predict/train paths in isolation.
+//!
+//! # Budget tiers and parallelism
+//!
+//! Benches run at [`bench_budget`] — the [`Budget::bench`] tier, the
+//! smallest of the three (full/quick/bench) so `cargo bench` stays
+//! minutes. They default to a **serial** sweep so timings measure the
+//! single-core harness cost; pass `--parallel` (`cargo bench -- --parallel`)
+//! or set `PHAST_WORKERS` to fan the figure matrices across the same
+//! worker pool the experiment binary uses, which benchmarks the parallel
+//! sweep engine instead.
 
-/// The budget benches run at (small, so `cargo bench` stays minutes).
-pub fn bench_budget() -> phast_experiments::Budget {
-    phast_experiments::Budget { insts: 10_000, workload_iters: 60_000, max_workloads: Some(2) }
+#![warn(missing_docs)]
+
+use phast_experiments::{Budget, Sweep};
+
+/// The budget benches run at ([`Budget::bench`]).
+pub fn bench_budget() -> Budget {
+    Budget::bench()
+}
+
+/// The sweep engine benches run on: serial by default (stable
+/// single-core timings), parallel when `--parallel` is passed on the
+/// bench command line or `PHAST_WORKERS` is set — the same knobs the
+/// `phast-experiments` binary exposes.
+pub fn bench_sweep() -> Sweep {
+    let parallel = std::env::args().any(|a| a == "--parallel")
+        || std::env::var(phast_experiments::pool::WORKERS_ENV).is_ok();
+    if parallel {
+        Sweep::parallel()
+    } else {
+        Sweep::serial()
+    }
 }

@@ -14,37 +14,41 @@
 //! * **History-length set**: PHAST's MDP-tuned lengths versus TAGE's
 //!   branch-prediction lengths (the paper's "an Omnipredictor cannot be
 //!   tuned for both" claim, §IV-B).
+//!
+//! Every variant fans its per-workload runs across the [`Sweep`]'s worker
+//! pool via [`Sweep::map`] + [`simulate_run`], then records them in
+//! workload order so output stays deterministic.
 
-use crate::harness::{geomean, normalized_ipc, run_custom, Budget, RunResult};
+use crate::harness::{geomean, normalized_ipc, simulate_run, Budget, RunResult, Sweep};
 use crate::predictors::PredictorKind;
 use crate::tablefmt::TextTable;
 use phast::{Phast, PhastConfig};
 use phast_ooo::{CoreConfig, MemSquashPolicy, TrainPoint};
 
 fn run_phast_variant(
-    cfg_fn: impl Fn() -> PhastConfig,
+    sweep: &Sweep,
+    cfg_fn: impl Fn() -> PhastConfig + Sync,
     core: &CoreConfig,
     budget: &Budget,
 ) -> Vec<RunResult> {
-    budget
-        .workloads()
-        .iter()
-        .map(|w| {
-            let program = w.build(budget.workload_iters);
-            let mut pred = Phast::new(cfg_fn());
-            run_custom(w.name, "phast-variant", &program, core, &mut pred, budget.insts)
-        })
-        .collect()
+    let workloads = budget.workloads();
+    let runs = sweep.map(&workloads, |_, w| {
+        let program = w.build(budget.workload_iters);
+        let mut pred = Phast::new(cfg_fn());
+        simulate_run(w.name, "phast-variant", &program, core, &mut pred, budget.insts)
+    });
+    sweep.record_all(&runs);
+    runs
 }
 
 /// Runs all ablations and renders the report.
-pub fn run(budget: &Budget) -> String {
+pub fn run(sweep: &Sweep, budget: &Budget) -> String {
     let base_core = {
         let mut c = CoreConfig::alder_lake();
         c.train_point = TrainPoint::Commit;
         c
     };
-    let ideal = crate::harness::run_all(&PredictorKind::Ideal, &CoreConfig::alder_lake(), budget);
+    let ideal = sweep.run_all(&PredictorKind::Ideal, &CoreConfig::alder_lake(), budget);
     let score = |runs: &[RunResult]| {
         let g = geomean(&normalized_ipc(runs, &ideal));
         let n = runs.len() as f64;
@@ -60,11 +64,11 @@ pub fn run(budget: &Budget) -> String {
     };
 
     // Baseline: the paper's PHAST.
-    let base = run_phast_variant(PhastConfig::paper, &base_core, budget);
+    let base = run_phast_variant(sweep, PhastConfig::paper, &base_core, budget);
     add("phast (paper)", &base);
 
     // (1) Without the N+1 destination rule.
-    let no_n1 = run_phast_variant(PhastConfig::without_n_plus_one, &base_core, budget);
+    let no_n1 = run_phast_variant(sweep, PhastConfig::without_n_plus_one, &base_core, budget);
     add("no N+1 rule", &no_n1);
 
     // (2) Trained at detection instead of commit.
@@ -73,7 +77,7 @@ pub fn run(budget: &Budget) -> String {
         c.train_point = TrainPoint::Detect;
         c
     };
-    let at_detect = run_phast_variant(PhastConfig::paper, &detect_core, budget);
+    let at_detect = run_phast_variant(sweep, PhastConfig::paper, &detect_core, budget);
     add("train at detect", &at_detect);
 
     // (3) Eager memory-order squash.
@@ -82,12 +86,13 @@ pub fn run(budget: &Budget) -> String {
         c.mem_squash = MemSquashPolicy::Eager;
         c
     };
-    let eager = run_phast_variant(PhastConfig::paper, &eager_core, budget);
+    let eager = run_phast_variant(sweep, PhastConfig::paper, &eager_core, budget);
     add("eager mem squash", &eager);
 
     // (4) Confidence width.
     for bits in [2u32, 6] {
-        let runs = run_phast_variant(|| PhastConfig::with_confidence_bits(bits), &base_core, budget);
+        let runs =
+            run_phast_variant(sweep, || PhastConfig::with_confidence_bits(bits), &base_core, budget);
         add(&format!("{bits}-bit confidence"), &runs);
     }
 
@@ -97,7 +102,7 @@ pub fn run(budget: &Budget) -> String {
         history_lengths: vec![2, 4, 8, 16, 32, 64, 96, 128],
         ..PhastConfig::paper()
     };
-    let tage_len = run_phast_variant(tage_lengths, &base_core, budget);
+    let tage_len = run_phast_variant(sweep, tage_lengths, &base_core, budget);
     add("TAGE history lengths", &tage_len);
 
     format!(
@@ -114,7 +119,7 @@ mod tests {
     #[test]
     fn ablations_render_on_tiny_budget() {
         let b = Budget { insts: 4_000, workload_iters: 20_000, max_workloads: Some(2) };
-        let out = run(&b);
+        let out = run(&Sweep::parallel(), &b);
         assert!(out.contains("phast (paper)"));
         assert!(out.contains("no N+1 rule"));
         assert!(out.contains("eager mem squash"));

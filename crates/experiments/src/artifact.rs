@@ -1,0 +1,338 @@
+//! Machine-readable sweep artifacts (`BENCH_<id>.json`).
+//!
+//! Every sweep the engine runs can be serialized to a small JSON record —
+//! per-run IPC, MPKI (false negatives and false positives), simulated
+//! wall-clock, worker count, budget, and the repository's `git describe`
+//! — so the performance trajectory of the repo is data, not prose. The
+//! experiment binary drops one `BENCH_<id>.json` per experiment id and CI
+//! uploads them as build artifacts.
+//!
+//! The writer is in-tree (the build environment has no crates.io access,
+//! so there is no `serde`): [`JsonValue`] covers exactly the subset these
+//! records need, with correct string escaping and `null` for non-finite
+//! floats.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A JSON value, sufficient for the sweep artifacts.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (serialized as `null` when not finite).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Float(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Float(_) => out.push_str("null"),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One row of the sweep's run log: everything the perf trajectory needs
+/// about a single (workload, predictor) simulation.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Memory-order violations (MDP false negatives) per kilo-instruction.
+    pub violation_mpki: f64,
+    /// False dependences (MDP false positives) per kilo-instruction.
+    pub false_dep_mpki: f64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Paths tracked (unlimited predictors; 0 for table-based ones).
+    pub num_paths: u64,
+    /// Host wall-clock seconds this run took to simulate.
+    pub wall_s: f64,
+    /// The degradation message if the run failed, `None` if it ran clean.
+    pub degraded: Option<String>,
+}
+
+impl RunRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("workload", JsonValue::Str(self.workload.clone())),
+            ("predictor", JsonValue::Str(self.predictor.clone())),
+            ("ipc", JsonValue::Float(self.ipc)),
+            ("violation_mpki", JsonValue::Float(self.violation_mpki)),
+            ("false_dep_mpki", JsonValue::Float(self.false_dep_mpki)),
+            ("cycles", JsonValue::UInt(self.cycles)),
+            ("committed", JsonValue::UInt(self.committed)),
+            ("num_paths", JsonValue::UInt(self.num_paths)),
+            ("wall_s", JsonValue::Float(self.wall_s)),
+            (
+                "degraded",
+                match &self.degraded {
+                    Some(msg) => JsonValue::Str(msg.clone()),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// The machine-readable record of one whole sweep, written as
+/// `BENCH_<id>.json`.
+#[derive(Clone, Debug)]
+pub struct SweepArtifact {
+    /// Experiment id (`fig15`, `ablations`, ...).
+    pub id: String,
+    /// `git describe --always --dirty` of the tree that produced the data.
+    pub git: String,
+    /// Worker threads the sweep ran with (1 = serial).
+    pub workers: usize,
+    /// Instruction budget per run.
+    pub budget_insts: u64,
+    /// Workload outer-loop iterations.
+    pub budget_iters: u64,
+    /// Number of workloads the budget covered.
+    pub workloads: usize,
+    /// End-to-end host wall-clock seconds for the sweep.
+    pub wall_s: f64,
+    /// Every simulation run, in deterministic matrix order.
+    pub runs: Vec<RunRecord>,
+    /// Degraded-run descriptions, in matrix order.
+    pub degraded: Vec<String>,
+}
+
+impl SweepArtifact {
+    /// Renders the artifact as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = JsonValue::obj(vec![
+            ("id", JsonValue::Str(self.id.clone())),
+            ("git", JsonValue::Str(self.git.clone())),
+            ("workers", JsonValue::UInt(self.workers as u64)),
+            (
+                "budget",
+                JsonValue::obj(vec![
+                    ("insts", JsonValue::UInt(self.budget_insts)),
+                    ("workload_iters", JsonValue::UInt(self.budget_iters)),
+                    ("workloads", JsonValue::UInt(self.workloads as u64)),
+                ]),
+            ),
+            ("wall_s", JsonValue::Float(self.wall_s)),
+            ("runs", JsonValue::Array(self.runs.iter().map(RunRecord::to_json).collect())),
+            (
+                "degraded",
+                JsonValue::Array(self.degraded.iter().cloned().map(JsonValue::Str).collect()),
+            ),
+        ])
+        .render();
+        out.push('\n');
+        out
+    }
+
+    /// The artifact's file name: `BENCH_<id>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.id)
+    }
+
+    /// Writes `BENCH_<id>.json` into `dir` (created if missing) and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git (or the repository) is unavailable.
+pub fn git_describe() -> String {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str) -> RunRecord {
+        RunRecord {
+            workload: workload.into(),
+            predictor: "phast".into(),
+            ipc: 3.25,
+            violation_mpki: 0.5,
+            false_dep_mpki: 0.25,
+            cycles: 1000,
+            committed: 3250,
+            num_paths: 0,
+            wall_s: 0.125,
+            degraded: None,
+        }
+    }
+
+    #[test]
+    fn json_escaping_and_non_finite_floats() {
+        let v = JsonValue::obj(vec![
+            ("s", JsonValue::Str("a\"b\\c\nd\u{1}".into())),
+            ("nan", JsonValue::Float(f64::NAN)),
+            ("inf", JsonValue::Float(f64::INFINITY)),
+        ]);
+        let s = v.render();
+        assert!(s.contains(r#""a\"b\\c\nd\u0001""#), "{s}");
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn artifact_round_trip_shape() {
+        let a = SweepArtifact {
+            id: "fig15".into(),
+            git: "abc1234-dirty".into(),
+            workers: 8,
+            budget_insts: 300_000,
+            budget_iters: 1_000_000,
+            workloads: 23,
+            wall_s: 12.5,
+            runs: vec![record("gcc_1"), record("mcf")],
+            degraded: vec!["gcc_1 × blind: deadlock".into()],
+        };
+        assert_eq!(a.file_name(), "BENCH_fig15.json");
+        let s = a.to_json();
+        for needle in
+            ["\"id\": \"fig15\"", "\"workers\": 8", "\"insts\": 300000", "\"gcc_1\"", "deadlock"]
+        {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+        // Exactly one run object per record.
+        assert_eq!(s.matches("\"predictor\"").count(), 2);
+    }
+
+    #[test]
+    fn artifact_writes_to_disk() {
+        let dir = std::env::temp_dir().join("phast-artifact-test");
+        let a = SweepArtifact {
+            id: "smoke".into(),
+            git: "unknown".into(),
+            workers: 1,
+            budget_insts: 1,
+            budget_iters: 1,
+            workloads: 0,
+            wall_s: 0.0,
+            runs: vec![],
+            degraded: vec![],
+        };
+        let path = a.write_to(&dir).expect("writes");
+        let body = std::fs::read_to_string(&path).expect("reads back");
+        assert!(body.contains("\"id\": \"smoke\""));
+        assert!(body.ends_with('\n'));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        assert!(!git_describe().is_empty());
+    }
+}

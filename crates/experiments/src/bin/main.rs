@@ -4,49 +4,78 @@
 //! cargo run -p phast-experiments --release -- fig15
 //! cargo run -p phast-experiments --release -- all
 //! cargo run -p phast-experiments --release -- --quick fig6
+//! cargo run -p phast-experiments --release -- --serial fig15      # 1 worker
+//! cargo run -p phast-experiments --release -- --workers=4 fig15
+//! cargo run -p phast-experiments --release -- --json-dir=bench fig15
 //! ```
+//!
+//! Sweeps run in parallel by default (`available_parallelism()` workers,
+//! also overridable with `PHAST_WORKERS`); parallel and serial sweeps
+//! produce byte-identical reports. Unless `--no-json` is given, every
+//! experiment also drops a machine-readable `BENCH_<id>.json` artifact
+//! (per-run IPC/MPKI/wall-clock, worker count, budget, git describe) into
+//! the current directory or `--json-dir`.
 
 use phast_experiments::figures;
-use phast_experiments::Budget;
+use phast_experiments::{Budget, Sweep};
+use std::path::PathBuf;
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     "fig14", "fig15", "fig16", "table1", "table2", "ablations",
 ];
 
-fn run_experiment(id: &str, budget: &Budget) -> Option<String> {
+fn run_experiment(id: &str, sweep: &Sweep, budget: &Budget) -> Option<String> {
     let out = match id {
-        "fig1" => figures::fig1::run(budget),
-        "fig2" => figures::fig2::run(budget),
-        "fig4" => figures::fig4::run(budget),
+        "fig1" => figures::fig1::run(sweep, budget),
+        "fig2" => figures::fig2::run(sweep, budget),
+        "fig4" => figures::fig4::run(sweep, budget),
         // Figs. 7, 8 and 9 share one characterization run.
-        "fig6" => figures::fig6::run(budget),
-        "fig7" | "fig8" | "fig9" => figures::fig789::run(budget),
-        "fig10" => figures::fig10::run(budget),
-        "fig11" => figures::fig11::run(budget),
-        "fig12" => figures::fig12::run(budget),
-        "fig13" => figures::fig13::run(budget),
-        "fig14" => figures::fig14::run(budget),
-        "fig15" => figures::fig15::run(budget).report,
-        "fig16" => figures::fig16::run(budget),
-        "table1" => figures::table1::run(budget),
-        "table2" => figures::table2::run(budget),
-        "ablations" => phast_experiments::ablations::run(budget),
+        "fig6" => figures::fig6::run(sweep, budget),
+        "fig7" | "fig8" | "fig9" => figures::fig789::run(sweep, budget),
+        "fig10" => figures::fig10::run(sweep, budget),
+        "fig11" => figures::fig11::run(sweep, budget),
+        "fig12" => figures::fig12::run(sweep, budget),
+        "fig13" => figures::fig13::run(sweep, budget),
+        "fig14" => figures::fig14::run(sweep, budget),
+        "fig15" => figures::fig15::run(sweep, budget).report,
+        "fig16" => figures::fig16::run(sweep, budget),
+        "table1" => figures::table1::run(sweep, budget),
+        "table2" => figures::table2::run(sweep, budget),
+        "ablations" => phast_experiments::ablations::run(sweep, budget),
         _ => return None,
     };
     Some(out)
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: phast-experiments [--quick] [--serial | --workers=N] \
+         [--json-dir=DIR | --no-json] <experiment>..."
+    );
+    eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let serial = args.iter().any(|a| a == "--serial");
+    let workers: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--workers="))
+        .map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let json_dir: PathBuf = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--json-dir="))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
     let budget = if quick { Budget::quick() } else { Budget::full() };
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     if ids.is_empty() {
-        eprintln!("usage: phast-experiments [--quick] <experiment>...");
-        eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
-        std::process::exit(2);
+        usage();
     }
 
     let selected: Vec<&str> = if ids == ["all"] {
@@ -58,12 +87,33 @@ fn main() {
         ids
     };
 
+    let mut all_degraded: Vec<String> = Vec::new();
     for id in selected {
+        // One sweep per experiment: its degraded-run registry and run log
+        // are scoped to the experiment, so each BENCH_<id>.json describes
+        // exactly the runs that produced this report.
+        let sweep = if serial {
+            Sweep::serial()
+        } else {
+            workers.map_or_else(Sweep::parallel, Sweep::with_workers)
+        };
         let start = std::time::Instant::now();
-        match run_experiment(id, &budget) {
+        match run_experiment(id, &sweep, &budget) {
             Some(out) => {
                 println!("=== {id} ===\n{out}");
-                println!("[{id} took {:.1?}]\n", start.elapsed());
+                println!(
+                    "[{id} took {:.1?} on {} worker(s)]\n",
+                    start.elapsed(),
+                    sweep.workers()
+                );
+                if !no_json {
+                    let artifact = sweep.artifact(id, &budget, start.elapsed());
+                    match artifact.write_to(&json_dir) {
+                        Ok(path) => eprintln!("wrote {}", path.display()),
+                        Err(e) => eprintln!("warning: could not write {}: {e}", artifact.file_name()),
+                    }
+                }
+                all_degraded.extend(sweep.take_degraded());
             }
             None => {
                 eprintln!("unknown experiment '{id}'; known: {}", EXPERIMENTS.join(" "));
@@ -72,13 +122,12 @@ fn main() {
         }
     }
 
-    // Degraded (failed but recovered) runs are collected by the harness so
-    // one bad (workload, predictor) pair cannot abort a whole sweep; they
+    // Degraded (failed but recovered) runs are collected per sweep so one
+    // bad (workload, predictor) pair cannot abort a whole experiment; they
     // still must be visible at the end rather than scrolled away.
-    let degraded = phast_experiments::harness::take_degraded();
-    if !degraded.is_empty() {
-        eprintln!("{} degraded run(s) — their statistics are partial:", degraded.len());
-        for d in &degraded {
+    if !all_degraded.is_empty() {
+        eprintln!("{} degraded run(s) — their statistics are partial:", all_degraded.len());
+        for d in &all_degraded {
             eprintln!("  - {d}");
         }
         std::process::exit(1);

@@ -1,13 +1,31 @@
-//! One runner per table/figure of the paper. Every function takes a
-//! [`Budget`] and returns a displayable report.
+//! One runner per table/figure of the paper. Every function takes the
+//! [`Sweep`] engine to run on plus a [`Budget`] and returns a displayable
+//! report.
+//!
+//! All runners fan their (workload, predictor, config) matrices across
+//! the sweep's worker pool via [`Sweep::run_grid`]/[`Sweep::map`];
+//! results are collected by matrix index, so a parallel sweep renders the
+//! same bytes as a serial one.
 
-use crate::harness::{geomean, normalized_ipc, run_all, Budget, RunResult};
+use crate::harness::{geomean, normalized_ipc, Budget, RunResult, Sweep};
 use crate::predictors::PredictorKind;
 use crate::tablefmt::{f3, pct, TextTable};
 use phast_ooo::{simulate_with_direction, CoreConfig};
 
-fn ideal_runs(cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
-    run_all(&PredictorKind::Ideal, cfg, budget)
+/// Runs `kinds` prefixed by the ideal predictor as one flat grid; returns
+/// the ideal row first, then one row per kind.
+fn grid_with_ideal(
+    sweep: &Sweep,
+    kinds: &[PredictorKind],
+    cfg: &CoreConfig,
+    budget: &Budget,
+) -> (Vec<RunResult>, Vec<Vec<RunResult>>) {
+    let mut all = Vec::with_capacity(kinds.len() + 1);
+    all.push(PredictorKind::Ideal);
+    all.extend(kinds.iter().cloned());
+    let mut rows = sweep.run_grid(&all, cfg, budget);
+    let ideal = rows.remove(0);
+    (ideal, rows)
 }
 
 /// Fig. 1: 30 years of branch predictors versus memory dependence
@@ -16,11 +34,12 @@ pub mod fig1 {
     use super::*;
     use phast_branch::{Bimodal, DirectionPredictor, GShare, Perceptron, StaticTaken, Tage, TageConfig};
 
-    /// Constructor for one point on the branch-predictor timeline.
-    type DirFactory = Box<dyn Fn() -> Box<dyn DirectionPredictor>>;
+    /// Constructor for one point on the branch-predictor timeline
+    /// (`Sync` so the worker pool can build predictors on any thread).
+    type DirFactory = Box<dyn Fn() -> Box<dyn DirectionPredictor> + Sync>;
 
     /// Runs the study.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let cfg = CoreConfig::nehalem();
         let mut out = String::from("Fig. 1 — branch vs memory dependence prediction MPKI (Nehalem-like)\n\n");
 
@@ -32,19 +51,24 @@ pub mod fig1 {
             ("perceptron (2001)", Box::new(|| Box::new(Perceptron::new(512, 32)))),
             ("tage (2011)", Box::new(|| Box::new(Tage::new(TageConfig::default())))),
         ];
-        for (name, make) in &dirs {
-            let mut mpki = Vec::new();
-            for w in budget.workloads() {
-                let program = w.build(budget.workload_iters);
-                let kind = PredictorKind::StoreSets;
-                let mut pred = kind.build(&program, budget.insts);
-                let mut c = cfg.clone();
-                c.train_point = kind.train_point();
-                let stats =
-                    simulate_with_direction(&program, &c, pred.as_mut(), make(), budget.insts);
-                mpki.push(stats.branch_mpki());
-            }
-            let avg = mpki.iter().sum::<f64>() / mpki.len() as f64;
+        // One flat (direction predictor × workload) matrix across the pool.
+        let workloads = budget.workloads();
+        let cells: Vec<(usize, usize)> = (0..dirs.len())
+            .flat_map(|d| (0..workloads.len()).map(move |w| (d, w)))
+            .collect();
+        let mpki = sweep.map(&cells, |_, &(d, w)| {
+            let program = workloads[w].build(budget.workload_iters);
+            let kind = PredictorKind::StoreSets;
+            let mut pred = kind.build(&program, budget.insts);
+            let mut c = cfg.clone();
+            c.train_point = kind.train_point();
+            let stats =
+                simulate_with_direction(&program, &c, pred.as_mut(), dirs[d].1(), budget.insts);
+            stats.branch_mpki()
+        });
+        for (d, (name, _)) in dirs.iter().enumerate() {
+            let row = &mpki[d * workloads.len()..(d + 1) * workloads.len()];
+            let avg = row.iter().sum::<f64>() / row.len() as f64;
             t.row(vec![name.to_string(), f3(avg)]);
         }
         out.push_str(&t.to_string());
@@ -62,8 +86,9 @@ pub mod fig1 {
             ("mdp-tage (2018)", PredictorKind::MdpTage),
             ("phast (2024)", PredictorKind::Phast),
         ];
-        for (name, kind) in &mdps {
-            let runs = run_all(kind, &cfg, budget);
+        let kinds: Vec<PredictorKind> = mdps.iter().map(|(_, k)| k.clone()).collect();
+        let rows = sweep.run_grid(&kinds, &cfg, budget);
+        for ((name, _), runs) in mdps.iter().zip(&rows) {
             let fnm = runs.iter().map(|r| r.stats.violation_mpki()).sum::<f64>() / runs.len() as f64;
             let fpm = runs.iter().map(|r| r.stats.false_dep_mpki()).sum::<f64>() / runs.len() as f64;
             t.row(vec![name.to_string(), f3(fnm), f3(fpm)]);
@@ -79,7 +104,7 @@ pub mod fig2 {
     use super::*;
 
     /// Runs the study.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let kinds = PredictorKind::headline();
         let mut mpki_t = TextTable::new(vec![
             "generation",
@@ -91,14 +116,13 @@ pub mod fig2 {
         ]);
         let mut gap_t = mpki_t.clone();
         for cfg in CoreConfig::generations() {
-            let ideal = ideal_runs(&cfg, budget);
+            let (ideal, rows) = grid_with_ideal(sweep, &kinds, &cfg, budget);
             let mut mpki_row = vec![cfg.name.to_string()];
             let mut gap_row = vec![cfg.name.to_string()];
-            for kind in &kinds {
-                let runs = run_all(kind, &cfg, budget);
+            for runs in &rows {
                 let avg_mpki =
                     runs.iter().map(|r| r.stats.total_mpki()).sum::<f64>() / runs.len() as f64;
-                let gap = 1.0 - geomean(&normalized_ipc(&runs, &ideal));
+                let gap = 1.0 - geomean(&normalized_ipc(runs, &ideal));
                 mpki_row.push(f3(avg_mpki));
                 gap_row.push(pct(gap));
             }
@@ -115,10 +139,10 @@ pub mod fig2 {
 /// Fig. 4: percentage of loads depending on multiple stores.
 pub mod fig4 {
     use super::*;
-    use phast_mdp::DepOracle;
+    use phast_mdp::{DepOracle, MultiStoreStats};
 
     /// Runs the study (pure emulation, no timing simulation).
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let mut t = TextTable::new(vec![
             "workload",
             "loads",
@@ -126,11 +150,14 @@ pub mod fig4 {
             "% of loads",
             "% same base reg",
         ]);
-        let mut total_pct = Vec::new();
-        for w in budget.workloads() {
+        let workloads = budget.workloads();
+        let stats: Vec<MultiStoreStats> = sweep.map(&workloads, |_, w| {
             let program = w.build(budget.workload_iters);
             let oracle = DepOracle::build(&program, budget.insts, 512).expect("emulates");
-            let s = oracle.multi_store_stats();
+            oracle.multi_store_stats()
+        });
+        let mut total_pct = Vec::new();
+        for (w, s) in workloads.iter().zip(&stats) {
             total_pct.push(s.multi_pct());
             t.row(vec![
                 w.name.to_string(),
@@ -153,17 +180,16 @@ pub mod fig6 {
     use super::*;
 
     /// Runs the limit study.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let cfg = CoreConfig::alder_lake();
-        let ideal = ideal_runs(&cfg, budget);
         let mut t = TextTable::new(vec!["predictor", "norm. IPC (geomean)", "avg paths tracked"]);
         let mut kinds: Vec<PredictorKind> =
             (1..=16).map(PredictorKind::UnlimitedNoSq).collect();
         kinds.push(PredictorKind::UnlimitedMdpTage);
         kinds.push(PredictorKind::UnlimitedPhast(None));
-        for kind in &kinds {
-            let runs = run_all(kind, &cfg, budget);
-            let ipc = geomean(&normalized_ipc(&runs, &ideal));
+        let (ideal, rows) = grid_with_ideal(sweep, &kinds, &cfg, budget);
+        for (kind, runs) in kinds.iter().zip(&rows) {
+            let ipc = geomean(&normalized_ipc(runs, &ideal));
             let paths =
                 runs.iter().map(|r| r.num_paths as f64).sum::<f64>() / runs.len() as f64;
             t.row(vec![kind.label(), format!("{ipc:.4}"), format!("{paths:.0}")]);
@@ -177,10 +203,11 @@ pub mod fig789 {
     use super::*;
 
     /// Runs the per-workload UnlimitedPHAST characterization.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let cfg = CoreConfig::alder_lake();
-        let ideal = ideal_runs(&cfg, budget);
-        let runs = run_all(&PredictorKind::UnlimitedPhast(None), &cfg, budget);
+        let (ideal, rows) =
+            grid_with_ideal(sweep, &[PredictorKind::UnlimitedPhast(None)], &cfg, budget);
+        let runs = &rows[0];
         let mut t = TextTable::new(vec![
             "workload",
             "norm. IPC (fig 7)",
@@ -197,7 +224,7 @@ pub mod fig789 {
                 r.num_paths.to_string(),
             ]);
         }
-        let g = geomean(&normalized_ipc(&runs, &ideal));
+        let g = geomean(&normalized_ipc(runs, &ideal));
         format!(
             "Figs. 7-9 — UnlimitedPHAST per workload (paper: 0.47% mean gap to ideal)\n\n{t}\ngeomean normalized IPC: {g:.4} (gap {:.2}%)\n",
             100.0 * (1.0 - g)
@@ -208,20 +235,26 @@ pub mod fig789 {
 /// Fig. 10: percentage of unique conflicts detected at each history length.
 pub mod fig10 {
     use super::*;
-    use crate::harness::run_custom;
+    use crate::harness::simulate_run;
     use phast::UnlimitedPhast;
 
     /// Runs the study; the histogram needs direct access to the
     /// UnlimitedPHAST internals, so it bypasses the predictor factory.
-    pub fn run(budget: &Budget) -> String {
-        let mut histogram: Vec<u64> = Vec::new();
-        for w in budget.workloads() {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
+        let workloads = budget.workloads();
+        let per_workload: Vec<(RunResult, Vec<u64>)> = sweep.map(&workloads, |_, w| {
             let program = w.build(budget.workload_iters);
             let mut pred = UnlimitedPhast::new();
             let mut cfg = CoreConfig::alder_lake();
             cfg.train_point = PredictorKind::UnlimitedPhast(None).train_point();
-            let _ = run_custom(w.name, "unl-phast", &program, &cfg, &mut pred, budget.insts);
-            for (len, &n) in pred.length_histogram().iter().enumerate() {
+            let run = simulate_run(w.name, "unl-phast", &program, &cfg, &mut pred, budget.insts);
+            (run, pred.length_histogram().to_vec())
+        });
+        let runs: Vec<RunResult> = per_workload.iter().map(|(r, _)| r.clone()).collect();
+        sweep.record_all(&runs);
+        let mut histogram: Vec<u64> = Vec::new();
+        for (_, h) in &per_workload {
+            for (len, &n) in h.iter().enumerate() {
                 if histogram.len() <= len {
                     histogram.resize(len + 1, 0);
                 }
@@ -257,13 +290,15 @@ pub mod fig11 {
     use super::*;
 
     /// Runs the sweep.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let cfg = CoreConfig::alder_lake();
-        let ideal = ideal_runs(&cfg, budget);
         let mut t = TextTable::new(vec!["max history length", "norm. IPC (geomean)"]);
-        for max in [Some(4), Some(8), Some(16), Some(32), Some(64), None] {
-            let runs = run_all(&PredictorKind::UnlimitedPhast(max), &cfg, budget);
-            let g = geomean(&normalized_ipc(&runs, &ideal));
+        let caps = [Some(4), Some(8), Some(16), Some(32), Some(64), None];
+        let kinds: Vec<PredictorKind> =
+            caps.iter().map(|m| PredictorKind::UnlimitedPhast(*m)).collect();
+        let (ideal, rows) = grid_with_ideal(sweep, &kinds, &cfg, budget);
+        for (max, runs) in caps.iter().zip(&rows) {
+            let g = geomean(&normalized_ipc(runs, &ideal));
             let label = max.map_or("unlimited".to_string(), |m| m.to_string());
             t.row(vec![label, format!("{g:.4}")]);
         }
@@ -276,7 +311,7 @@ pub mod fig12 {
     use super::*;
 
     /// Runs the ablation.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let mut t = TextTable::new(vec!["predictor", "no-FWD norm. IPC", "FWD norm. IPC"]);
         let mut on_cfg = CoreConfig::alder_lake();
         on_cfg.forwarding_filter = true;
@@ -284,10 +319,12 @@ pub mod fig12 {
         off_cfg.forwarding_filter = false;
         // Both variants are normalized to the FWD-on ideal, as the paper
         // normalizes everything to its (single) perfect predictor.
-        let ideal = ideal_runs(&on_cfg, budget);
-        for kind in PredictorKind::headline() {
-            let on = geomean(&normalized_ipc(&run_all(&kind, &on_cfg, budget), &ideal));
-            let off = geomean(&normalized_ipc(&run_all(&kind, &off_cfg, budget), &ideal));
+        let kinds = PredictorKind::headline();
+        let (ideal, on_rows) = grid_with_ideal(sweep, &kinds, &on_cfg, budget);
+        let off_rows = sweep.run_grid(&kinds, &off_cfg, budget);
+        for ((kind, on_runs), off_runs) in kinds.iter().zip(&on_rows).zip(&off_rows) {
+            let on = geomean(&normalized_ipc(on_runs, &ideal));
+            let off = geomean(&normalized_ipc(off_runs, &ideal));
             t.row(vec![kind.label(), format!("{off:.4}"), format!("{on:.4}")]);
         }
         format!("Fig. 12 — squash filtering through forwarding on/off\n\n{t}")
@@ -299,9 +336,8 @@ pub mod fig13 {
     use super::*;
 
     /// Runs the sweep.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let cfg = CoreConfig::alder_lake();
-        let ideal = ideal_runs(&cfg, budget);
         let mut t = TextTable::new(vec!["predictor", "storage (KB)", "norm. IPC (geomean)"]);
         let sweeps: Vec<PredictorKind> = vec![
             PredictorKind::PhastSets(32),
@@ -321,9 +357,9 @@ pub mod fig13 {
             PredictorKind::MdpTage,
             PredictorKind::MdpTageS,
         ];
-        for kind in &sweeps {
-            let runs = run_all(kind, &cfg, budget);
-            let g = geomean(&normalized_ipc(&runs, &ideal));
+        let (ideal, rows) = grid_with_ideal(sweep, &sweeps, &cfg, budget);
+        for (kind, runs) in sweeps.iter().zip(&rows) {
+            let g = geomean(&normalized_ipc(runs, &ideal));
             let program = budget.workloads()[0].build(16);
             let kb = kind.build(&program, 16).storage_bits() as f64 / 8192.0;
             t.row(vec![kind.label(), format!("{kb:.2}"), format!("{g:.4}")]);
@@ -337,7 +373,7 @@ pub mod fig14 {
     use super::*;
 
     /// Runs the comparison.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let cfg = CoreConfig::alder_lake();
         let kinds = PredictorKind::headline();
         let mut header = vec!["workload".to_string()];
@@ -345,8 +381,7 @@ pub mod fig14 {
             header.push(format!("{} FN/FP", k.label()));
         }
         let mut t = TextTable::new(header);
-        let all_runs: Vec<Vec<RunResult>> =
-            kinds.iter().map(|k| run_all(k, &cfg, budget)).collect();
+        let all_runs = sweep.run_grid(&kinds, &cfg, budget);
         for (wi, w) in budget.workloads().iter().enumerate() {
             let mut row = vec![w.name.to_string()];
             for runs in &all_runs {
@@ -385,17 +420,17 @@ pub mod fig15 {
         pub geomeans: Vec<(String, f64)>,
         /// PHAST speedup over each baseline: (name, mean %, max %).
         pub speedups: Vec<(String, f64, f64)>,
+        /// Per-predictor per-workload runs (headline order).
+        pub runs: Vec<Vec<RunResult>>,
         /// Rendered report.
         pub report: String,
     }
 
     /// Runs the headline comparison.
-    pub fn run(budget: &Budget) -> Results {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> Results {
         let cfg = CoreConfig::alder_lake();
-        let ideal = ideal_runs(&cfg, budget);
         let kinds = PredictorKind::headline();
-        let all_runs: Vec<Vec<RunResult>> =
-            kinds.iter().map(|k| run_all(k, &cfg, budget)).collect();
+        let (ideal, all_runs) = grid_with_ideal(sweep, &kinds, &cfg, budget);
 
         let mut header = vec!["workload".to_string()];
         header.extend(kinds.iter().map(|k| k.label()));
@@ -438,7 +473,7 @@ pub mod fig15 {
         for (name, mean, max) in &speedups {
             report.push_str(&format!("  vs {:<12} mean {:+.2}%  max {:+.2}%\n", name, mean, max));
         }
-        Results { geomeans, speedups, report }
+        Results { geomeans, speedups, runs: all_runs, report }
     }
 }
 
@@ -458,7 +493,7 @@ pub mod fig16 {
     }
 
     /// Runs the energy study.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(sweep: &Sweep, budget: &Budget) -> String {
         let cfg = CoreConfig::alder_lake();
         let mut t = TextTable::new(vec![
             "predictor",
@@ -468,11 +503,12 @@ pub mod fig16 {
             "write energy (nJ)",
             "total (nJ)",
         ]);
-        for kind in PredictorKind::headline() {
-            let runs = run_all(&kind, &cfg, budget);
+        let kinds = PredictorKind::headline();
+        let rows = sweep.run_grid(&kinds, &cfg, budget);
+        for (kind, runs) in kinds.iter().zip(&rows) {
             let reads: u64 = runs.iter().map(|r| r.stats.predictor_accesses.reads).sum();
             let writes: u64 = runs.iter().map(|r| r.stats.predictor_accesses.writes).sum();
-            let e = structure_of(&kind).per_table_probe();
+            let e = structure_of(kind).per_table_probe();
             let (rn, wn) = total_energy_nj(reads, writes, e);
             t.row(vec![
                 kind.label(),
@@ -492,7 +528,7 @@ pub mod table1 {
     use super::*;
 
     /// Renders the Alder-Lake-like configuration.
-    pub fn run(_budget: &Budget) -> String {
+    pub fn run(_sweep: &Sweep, _budget: &Budget) -> String {
         let c = CoreConfig::alder_lake();
         let mut t = TextTable::new(vec!["parameter", "value"]);
         t.row(vec!["front-end width".to_string(), format!("{}-wide fetch and decode", c.fetch_width)]);
@@ -520,7 +556,7 @@ pub mod table2 {
     use phast_energy::Structure;
 
     /// Renders the predictor configuration table.
-    pub fn run(budget: &Budget) -> String {
+    pub fn run(_sweep: &Sweep, budget: &Budget) -> String {
         let program = budget.workloads()[0].build(16);
         let mut t = TextTable::new(vec![
             "predictor",
@@ -568,24 +604,26 @@ mod tests {
     #[test]
     fn table1_and_table2_render() {
         let b = tiny_budget();
-        let t1 = table1::run(&b);
+        let s = Sweep::serial();
+        let t1 = table1::run(&s, &b);
         assert!(t1.contains("512/204/192/114"));
-        let t2 = table2::run(&b);
+        let t2 = table2::run(&s, &b);
         assert!(t2.contains("14.500"), "PHAST size row: {t2}");
         assert!(t2.contains("38.625"), "MDP-TAGE size row");
     }
 
     #[test]
     fn fig4_runs_on_tiny_budget() {
-        let out = fig4::run(&tiny_budget());
+        let out = fig4::run(&Sweep::parallel(), &tiny_budget());
         assert!(out.contains("perlbench_1"));
     }
 
     #[test]
     fn fig15_runs_on_tiny_budget() {
-        let r = fig15::run(&tiny_budget());
+        let r = fig15::run(&Sweep::parallel(), &tiny_budget());
         assert_eq!(r.geomeans.len(), 5);
         assert_eq!(r.speedups.len(), 4);
+        assert_eq!(r.runs.len(), 5);
         assert!(r.report.contains("PHAST speedups"));
     }
 }

@@ -1,27 +1,40 @@
-//! Shared simulation harness: budgets, per-run results, aggregation, and
-//! graceful degradation — a run that fails with a [`SimError`] is recorded
-//! (with its partial statistics) and reported at the end of the experiment
-//! binary instead of aborting every remaining (workload, predictor) pair.
+//! The sweep engine: budgets, per-run results, aggregation, parallel
+//! execution, and graceful degradation.
+//!
+//! A [`Sweep`] owns everything one experiment needs:
+//!
+//! * a **worker pool** ([`crate::pool`]) that fans the (workload,
+//!   predictor, config) run matrix across threads while keeping output
+//!   deterministic — results are collected by matrix index and recorded in
+//!   matrix order, and every run builds its program and predictor from
+//!   per-run seeds, so a parallel sweep produces byte-identical tables to
+//!   a serial one;
+//! * a **scoped degraded-run registry** — a run that fails with a
+//!   [`SimError`] is recorded (with its partial statistics) and reported
+//!   at the end of the experiment instead of aborting the remaining
+//!   pairs. The registry lives on the `Sweep`, not in a process-global
+//!   static, so concurrent sweeps (e.g. parallel tests) cannot steal each
+//!   other's reports;
+//! * a **run log** of [`RunRecord`]s feeding the machine-readable
+//!   `BENCH_<id>.json` artifacts ([`crate::artifact`]).
+//!
+//! Budget tiers: [`Budget::full`] (the paper's evaluation, used by the
+//! `phast-experiments` binary), [`Budget::quick`] (smoke tests and CI),
+//! and [`Budget::bench`] (the Criterion benches in `phast-bench`).
 
+use crate::artifact::{git_describe, RunRecord, SweepArtifact};
+use crate::pool;
 use crate::predictors::PredictorKind;
 use phast_isa::Program;
 use phast_mdp::MemDepPredictor;
 use phast_ooo::{try_simulate, CoreConfig, SimError, SimStats};
 use phast_workloads::Workload;
 use std::sync::Mutex;
-
-/// Degraded runs recorded since the last [`take_degraded`], newest last.
-static DEGRADED: Mutex<Vec<String>> = Mutex::new(Vec::new());
-
-/// Drains the recorded degraded-run descriptions (the experiment binary
-/// reports them once all experiments have run).
-pub fn take_degraded() -> Vec<String> {
-    std::mem::take(&mut *DEGRADED.lock().expect("degraded-run registry"))
-}
+use std::time::{Duration, Instant};
 
 /// How much work an experiment may do. The binary runs at
-/// [`Budget::full`]; the Criterion benches and tests use
-/// [`Budget::quick`].
+/// [`Budget::full`]; tests and CI use [`Budget::quick`]; the Criterion
+/// benches use [`Budget::bench`].
 #[derive(Clone, Debug)]
 pub struct Budget {
     /// Instructions simulated per (workload, predictor) pair.
@@ -38,9 +51,15 @@ impl Budget {
         Budget { insts: 300_000, workload_iters: 1_000_000, max_workloads: None }
     }
 
-    /// A reduced budget for benches and smoke tests.
+    /// A reduced budget for smoke tests and the CI quick sweep.
     pub fn quick() -> Budget {
         Budget { insts: 40_000, workload_iters: 200_000, max_workloads: Some(6) }
+    }
+
+    /// The smallest tier, used by the `phast-bench` Criterion benches
+    /// (benches measure harness cost, not paper numbers).
+    pub fn bench() -> Budget {
+        Budget { insts: 10_000, workload_iters: 60_000, max_workloads: Some(2) }
     }
 
     /// The workloads this budget covers.
@@ -66,6 +85,8 @@ pub struct RunResult {
     pub num_paths: u64,
     /// The error that ended the run early, if it could not finish cleanly.
     pub failure: Option<SimError>,
+    /// Host wall-clock time the simulation took.
+    pub wall: Duration,
 }
 
 impl RunResult {
@@ -73,12 +94,37 @@ impl RunResult {
     pub fn ok(&self) -> bool {
         self.failure.is_none()
     }
+
+    /// The degraded-run registry entry for this run, if it failed.
+    fn degraded_entry(&self) -> Option<String> {
+        self.failure.as_ref().map(|e| format!("{} × {}: {e}", self.workload, self.predictor))
+    }
+
+    /// The artifact row for this run.
+    fn to_record(&self) -> RunRecord {
+        RunRecord {
+            workload: self.workload.clone(),
+            predictor: self.predictor.clone(),
+            ipc: self.stats.ipc(),
+            violation_mpki: self.stats.violation_mpki(),
+            false_dep_mpki: self.stats.false_dep_mpki(),
+            cycles: self.stats.cycles,
+            committed: self.stats.committed,
+            num_paths: self.num_paths,
+            wall_s: self.wall.as_secs_f64(),
+            degraded: self.degraded_entry(),
+        }
+    }
 }
 
-/// Runs an already-built predictor on an already-built program, degrading
-/// gracefully: a failed run yields its partial statistics plus the
-/// [`SimError`], and is recorded for the end-of-binary report.
-pub fn run_custom(
+/// Simulates an already-built predictor on an already-built program,
+/// degrading gracefully: a failed run yields its partial statistics plus
+/// the [`SimError`] instead of aborting.
+///
+/// This is the **pure** execution primitive: it records nothing. Use the
+/// [`Sweep`] methods (or [`Sweep::record_all`] after a custom parallel
+/// map) so degraded runs reach the registry and the artifact log.
+pub fn simulate_run(
     workload: &str,
     label: &str,
     program: &Program,
@@ -86,14 +132,10 @@ pub fn run_custom(
     predictor: &mut dyn MemDepPredictor,
     insts: u64,
 ) -> RunResult {
+    let start = Instant::now();
     let (stats, failure) = match try_simulate(program, cfg, predictor, insts) {
         Ok(stats) => (stats, None),
-        Err(e) => {
-            let entry = format!("{workload} × {label}: {e}");
-            eprintln!("warning: degraded run — {entry}");
-            DEGRADED.lock().expect("degraded-run registry").push(entry);
-            (e.partial_stats().clone(), Some(e))
-        }
+        Err(e) => (e.partial_stats().clone(), Some(e)),
     };
     RunResult {
         workload: workload.to_string(),
@@ -101,11 +143,13 @@ pub fn run_custom(
         stats,
         num_paths: predictor.num_paths(),
         failure,
+        wall: start.elapsed(),
     }
 }
 
-/// Runs one workload under one predictor on the given core.
-pub fn run_one(
+/// Builds and simulates one (workload, predictor kind) pair without
+/// touching any registry — the unit of work the pool distributes.
+fn execute_one(
     workload: &Workload,
     kind: &PredictorKind,
     cfg: &CoreConfig,
@@ -115,13 +159,162 @@ pub fn run_one(
     let mut core_cfg = cfg.clone();
     core_cfg.train_point = kind.train_point();
     let mut predictor = kind.build(&program, budget.insts);
-    run_custom(workload.name, &kind.label(), &program, &core_cfg, predictor.as_mut(), budget.insts)
+    simulate_run(workload.name, &kind.label(), &program, &core_cfg, predictor.as_mut(), budget.insts)
 }
 
-/// Runs every budgeted workload under one predictor; returns per-workload
-/// results in registry order.
-pub fn run_all(kind: &PredictorKind, cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
-    budget.workloads().iter().map(|w| run_one(w, kind, cfg, budget)).collect()
+/// A sweep: a worker pool plus the scoped degraded-run registry and run
+/// log for one experiment.
+///
+/// Create one per experiment ([`Sweep::parallel`] in binaries,
+/// [`Sweep::serial`] where determinism is being *checked* against the
+/// parallel path), run the matrix through it, then drain
+/// [`Sweep::take_degraded`] and/or [`Sweep::artifact`].
+#[derive(Debug, Default)]
+pub struct Sweep {
+    workers: usize,
+    degraded: Mutex<Vec<String>>,
+    records: Mutex<Vec<RunRecord>>,
+}
+
+impl Sweep {
+    /// A sweep with an explicit worker count (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Sweep {
+        Sweep { workers: workers.max(1), ..Sweep::default() }
+    }
+
+    /// A serial sweep (one worker, no threads spawned).
+    pub fn serial() -> Sweep {
+        Sweep::with_workers(1)
+    }
+
+    /// A parallel sweep sized to the host
+    /// (`std::thread::available_parallelism()`, overridable with the
+    /// `PHAST_WORKERS` environment variable).
+    pub fn parallel() -> Sweep {
+        Sweep::with_workers(pool::default_workers())
+    }
+
+    /// The worker count this sweep fans runs across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Fans `f` over `items` on this sweep's worker pool; results come
+    /// back **in item order**. For work that is not a plain (workload,
+    /// predictor) pair — oracle builds, direction-predictor studies,
+    /// custom predictor variants.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        pool::run_matrix(self.workers, items, f)
+    }
+
+    /// Records results in the order given: degraded runs go to this
+    /// sweep's registry (and stderr), every run goes to the artifact log.
+    /// The [`Sweep`] run methods call this internally; call it yourself
+    /// only after producing [`RunResult`]s via [`simulate_run`] in a
+    /// custom [`Sweep::map`].
+    pub fn record_all(&self, runs: &[RunResult]) {
+        let mut degraded = self.degraded.lock().expect("degraded-run registry");
+        let mut records = self.records.lock().expect("run log");
+        for run in runs {
+            if let Some(entry) = run.degraded_entry() {
+                eprintln!("warning: degraded run — {entry}");
+                degraded.push(entry);
+            }
+            records.push(run.to_record());
+        }
+    }
+
+    /// Runs an already-built predictor on an already-built program and
+    /// records the outcome on this sweep.
+    pub fn run_custom(
+        &self,
+        workload: &str,
+        label: &str,
+        program: &Program,
+        cfg: &CoreConfig,
+        predictor: &mut dyn MemDepPredictor,
+        insts: u64,
+    ) -> RunResult {
+        let run = simulate_run(workload, label, program, cfg, predictor, insts);
+        self.record_all(std::slice::from_ref(&run));
+        run
+    }
+
+    /// Runs one workload under one predictor on the given core.
+    pub fn run_one(
+        &self,
+        workload: &Workload,
+        kind: &PredictorKind,
+        cfg: &CoreConfig,
+        budget: &Budget,
+    ) -> RunResult {
+        let run = execute_one(workload, kind, cfg, budget);
+        self.record_all(std::slice::from_ref(&run));
+        run
+    }
+
+    /// Runs every budgeted workload under one predictor, fanned across
+    /// the pool; returns per-workload results in registry order.
+    pub fn run_all(&self, kind: &PredictorKind, cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
+        let workloads = budget.workloads();
+        let runs = self.map(&workloads, |_, w| execute_one(w, kind, cfg, budget));
+        self.record_all(&runs);
+        runs
+    }
+
+    /// Runs the full (predictor kind × workload) grid as **one** flat
+    /// matrix across the pool — the shape most figures have. Returns one
+    /// row of per-workload results (registry order) per kind, in kind
+    /// order; equivalent to mapping [`Sweep::run_all`] over `kinds`, but
+    /// with maximal parallelism across the whole grid.
+    pub fn run_grid(
+        &self,
+        kinds: &[PredictorKind],
+        cfg: &CoreConfig,
+        budget: &Budget,
+    ) -> Vec<Vec<RunResult>> {
+        let workloads = budget.workloads();
+        let cells: Vec<(usize, usize)> = (0..kinds.len())
+            .flat_map(|k| (0..workloads.len()).map(move |w| (k, w)))
+            .collect();
+        let flat =
+            self.map(&cells, |_, &(k, w)| execute_one(&workloads[w], &kinds[k], cfg, budget));
+        self.record_all(&flat);
+        let mut rows: Vec<Vec<RunResult>> = Vec::with_capacity(kinds.len());
+        let mut flat = flat.into_iter();
+        for _ in kinds {
+            rows.push(flat.by_ref().take(workloads.len()).collect());
+        }
+        rows
+    }
+
+    /// Drains the recorded degraded-run descriptions (the experiment
+    /// binary reports them once all experiments have run).
+    pub fn take_degraded(&self) -> Vec<String> {
+        std::mem::take(&mut *self.degraded.lock().expect("degraded-run registry"))
+    }
+
+    /// Snapshots this sweep's state into a machine-readable
+    /// [`SweepArtifact`] (the run log and degraded registry are copied,
+    /// not drained).
+    pub fn artifact(&self, id: &str, budget: &Budget, wall: Duration) -> SweepArtifact {
+        SweepArtifact {
+            id: id.to_string(),
+            git: git_describe(),
+            workers: self.workers,
+            budget_insts: budget.insts,
+            budget_iters: budget.workload_iters,
+            workloads: budget.workloads().len(),
+            wall_s: wall.as_secs_f64(),
+            runs: self.records.lock().expect("run log").clone(),
+            degraded: self.degraded.lock().expect("degraded-run registry").clone(),
+        }
+    }
 }
 
 /// Geometric mean of a non-empty slice of positive values.
@@ -149,6 +342,7 @@ mod tests {
     fn budgets_cover_workloads() {
         assert_eq!(Budget::full().workloads().len(), 23);
         assert_eq!(Budget::quick().workloads().len(), 6);
+        assert_eq!(Budget::bench().workloads().len(), 2);
     }
 
     #[test]
@@ -161,9 +355,65 @@ mod tests {
     fn run_one_produces_stats() {
         let w = phast_workloads::by_name("exchange2").unwrap();
         let budget = Budget { insts: 5_000, workload_iters: 50_000, max_workloads: None };
-        let r = run_one(&w, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
+        let sweep = Sweep::serial();
+        let r = sweep.run_one(&w, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
         assert_eq!(r.workload, "exchange2");
         assert!(r.stats.committed >= 5_000);
         assert!(r.stats.ipc() > 0.0);
+        assert!(sweep.take_degraded().is_empty());
+    }
+
+    #[test]
+    fn degraded_registries_are_scoped_per_sweep() {
+        let w = phast_workloads::by_name("exchange2").unwrap();
+        let budget = Budget { insts: 5_000, workload_iters: 50_000, max_workloads: None };
+        let mut poisoned = CoreConfig::alder_lake();
+        poisoned.deadlock_cycles = 2;
+
+        let bad_sweep = Sweep::serial();
+        let clean_sweep = Sweep::serial();
+        let bad = bad_sweep.run_one(&w, &PredictorKind::Blind, &poisoned, &budget);
+        let good =
+            clean_sweep.run_one(&w, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
+        assert!(!bad.ok());
+        assert!(good.ok());
+
+        // Each sweep saw only its own runs.
+        assert_eq!(bad_sweep.take_degraded().len(), 1);
+        assert!(clean_sweep.take_degraded().is_empty());
+    }
+
+    #[test]
+    fn artifact_reflects_the_run_log() {
+        let w = phast_workloads::by_name("exchange2").unwrap();
+        let budget = Budget { insts: 5_000, workload_iters: 50_000, max_workloads: Some(1) };
+        let sweep = Sweep::serial();
+        sweep.run_one(&w, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
+        let a = sweep.artifact("smoke", &budget, Duration::from_millis(10));
+        assert_eq!(a.id, "smoke");
+        assert_eq!(a.workers, 1);
+        assert_eq!(a.runs.len(), 1);
+        assert_eq!(a.runs[0].workload, "exchange2");
+        assert!(a.runs[0].degraded.is_none());
+        assert!(a.degraded.is_empty());
+    }
+
+    #[test]
+    fn grid_matches_per_kind_runs() {
+        let budget = Budget { insts: 3_000, workload_iters: 20_000, max_workloads: Some(2) };
+        let cfg = CoreConfig::alder_lake();
+        let kinds = [PredictorKind::Blind, PredictorKind::TotalOrder];
+        let grid = Sweep::with_workers(4).run_grid(&kinds, &cfg, &budget);
+        assert_eq!(grid.len(), 2);
+        let serial = Sweep::serial();
+        for (kind, row) in kinds.iter().zip(&grid) {
+            let expect = serial.run_all(kind, &cfg, &budget);
+            assert_eq!(row.len(), expect.len());
+            for (a, b) in row.iter().zip(&expect) {
+                assert_eq!(a.workload, b.workload);
+                assert_eq!(a.stats.cycles, b.stats.cycles, "{} × {}", a.workload, a.predictor);
+                assert_eq!(a.stats.committed, b.stats.committed);
+            }
+        }
     }
 }

@@ -1,10 +1,23 @@
 //! Experiment harness reproducing every table and figure of the PHAST
-//! paper's evaluation (see DESIGN.md §4 for the full index).
+//! paper's evaluation (see DESIGN.md §4 for the full index, and
+//! docs/PIPELINE.md for an end-to-end walkthrough of the pipeline).
 //!
-//! Each `figN` module exposes a `run(&Budget)` function returning a
-//! structured, `Display`able result; the `phast-experiments` binary maps
-//! experiment ids to these functions, and the Criterion benches in
+//! Each `figN` module exposes a `run(&Sweep, &Budget)` function returning
+//! a structured, `Display`able result; the `phast-experiments` binary
+//! maps experiment ids to these functions, and the Criterion benches in
 //! `phast-bench` call them at reduced budgets.
+//!
+//! # Budgets and parallelism
+//!
+//! A [`Budget`] picks the tier — [`Budget::full`] for the paper numbers,
+//! [`Budget::quick`] for smoke tests and CI, [`Budget::bench`] for the
+//! Criterion benches — and a [`Sweep`] supplies the engine: worker count
+//! ([`Sweep::parallel`] fans the run matrix across
+//! `std::thread::available_parallelism()` threads, overridable with
+//! `PHAST_WORKERS`), the sweep-scoped degraded-run registry, and the run
+//! log behind the machine-readable `BENCH_<id>.json` artifacts
+//! ([`artifact`]). Parallel and serial sweeps produce byte-identical
+//! reports; see [`harness`] for the determinism contract.
 //!
 //! Absolute numbers differ from the paper (our substrate is a synthetic
 //! workload suite on a from-scratch simulator, not SPEC on the authors'
@@ -15,10 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod artifact;
 pub mod figures;
 pub mod harness;
+pub mod pool;
 pub mod predictors;
 pub mod tablefmt;
 
-pub use harness::{geomean, Budget, RunResult};
+pub use artifact::SweepArtifact;
+pub use harness::{geomean, Budget, RunResult, Sweep};
 pub use predictors::PredictorKind;

@@ -1,0 +1,108 @@
+//! In-tree scoped-thread worker pool for the sweep engine.
+//!
+//! The experiment matrices (workload × predictor × config) are
+//! embarrassingly parallel: every run builds its own program and predictor
+//! from deterministic seeds and shares nothing with its neighbours. This
+//! module fans a task slice across `std::thread::scope` workers while
+//! keeping the *output* deterministic: results land in a slot vector
+//! indexed by task position, so callers observe exactly the order a serial
+//! loop would produce, regardless of which worker finished first.
+//!
+//! No external dependencies — like the `crates/compat-*` stand-ins, this
+//! is deliberately the smallest thing that does the job: an atomic
+//! work-stealing cursor plus one `Mutex<Option<R>>` per slot (uncontended;
+//! each slot is locked exactly once).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count picked by
+/// [`default_workers`] (`PHAST_WORKERS=1` forces serial execution).
+pub const WORKERS_ENV: &str = "PHAST_WORKERS";
+
+/// The worker count a parallel sweep uses by default:
+/// `std::thread::available_parallelism()`, overridable with the
+/// `PHAST_WORKERS` environment variable.
+pub fn default_workers() -> usize {
+    match std::env::var(WORKERS_ENV).ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+/// Runs `run(index, &task)` for every task, fanned across at most
+/// `workers` scoped threads, and returns the results **in task order**.
+///
+/// With `workers <= 1` (or a single task) this degenerates to the plain
+/// serial loop — byte-identical behaviour, no threads spawned. A panic in
+/// any worker propagates to the caller once the scope joins.
+pub fn run_matrix<T, R, F>(workers: usize, tasks: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.min(tasks.len());
+    if workers <= 1 {
+        return tasks.iter().enumerate().map(|(i, t)| run(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let result = run(i, task);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot").expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let tasks: Vec<usize> = (0..64).collect();
+        for workers in [1, 2, 7, 64, 200] {
+            let out = run_matrix(workers, &tasks, |i, &t| {
+                assert_eq!(i, t);
+                t * 3
+            });
+            assert_eq!(out, tasks.iter().map(|t| t * 3).collect::<Vec<_>>(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_matrices() {
+        let none: Vec<u32> = run_matrix(8, &[], |_, &t: &u32| t);
+        assert!(none.is_empty());
+        assert_eq!(run_matrix(8, &[41], |_, &t| t + 1), vec![42]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<usize> = (0..137).collect();
+        let out = run_matrix(5, &tasks, |_, &t| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            t
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 137);
+        assert_eq!(out.len(), 137);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

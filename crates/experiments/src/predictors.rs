@@ -8,7 +8,7 @@ use phast_baselines::{
 use phast_isa::Program;
 use phast_mdp::{BlindSpeculation, DepOracle, MemDepPredictor, OraclePredictor, TotalOrder};
 use phast_ooo::TrainPoint;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifies a predictor configuration used by the experiments.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,7 +107,7 @@ impl PredictorKind {
                 // comfortable margin past `max_insts`.
                 let oracle = DepOracle::build(program, max_insts + 50_000, 512)
                     .expect("workloads emulate cleanly");
-                Box::new(OraclePredictor::new(Rc::new(oracle)))
+                Box::new(OraclePredictor::new(Arc::new(oracle)))
             }
             PredictorKind::Blind => Box::new(BlindSpeculation),
             PredictorKind::TotalOrder => Box::new(TotalOrder),

@@ -1,0 +1,87 @@
+//! Determinism contract of the parallel sweep engine: a quick-budget
+//! Fig. 15 sweep must produce identical `RunResult`s — IPC, MPKI,
+//! degraded list — and a byte-identical rendered report at 1 worker and
+//! at N workers. Results are collected by matrix index and every run
+//! builds its program and predictor from per-run seeds, so worker count
+//! must never be observable in the output.
+
+use phast_experiments::figures::fig15;
+use phast_experiments::harness::{Budget, RunResult, Sweep};
+use phast_experiments::PredictorKind;
+use phast_ooo::CoreConfig;
+
+/// Quick-budget shape trimmed to keep the debug-mode (checked) run fast;
+/// still several workloads × the full headline matrix.
+fn budget() -> Budget {
+    Budget { insts: 10_000, workload_iters: 60_000, max_workloads: Some(4) }
+}
+
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    let pair = format!("{} × {}", a.workload, a.predictor);
+    assert_eq!(a.workload, b.workload);
+    assert_eq!(a.predictor, b.predictor);
+    // Bit-exact, not approximate: parallel and serial sweeps run the very
+    // same deterministic simulations, so even f64s must match to the bit.
+    assert_eq!(a.stats.ipc().to_bits(), b.stats.ipc().to_bits(), "IPC differs for {pair}");
+    assert_eq!(
+        a.stats.violation_mpki().to_bits(),
+        b.stats.violation_mpki().to_bits(),
+        "violation MPKI differs for {pair}"
+    );
+    assert_eq!(
+        a.stats.false_dep_mpki().to_bits(),
+        b.stats.false_dep_mpki().to_bits(),
+        "false-dep MPKI differs for {pair}"
+    );
+    assert_eq!(a.stats.cycles, b.stats.cycles, "cycles differ for {pair}");
+    assert_eq!(a.stats.committed, b.stats.committed, "committed differs for {pair}");
+    assert_eq!(a.num_paths, b.num_paths, "paths differ for {pair}");
+    assert_eq!(a.ok(), b.ok(), "failure status differs for {pair}");
+}
+
+#[test]
+fn fig15_sweep_is_identical_at_1_and_n_workers() {
+    let budget = budget();
+    let serial = Sweep::serial();
+    let parallel = Sweep::with_workers(4);
+    assert_eq!(serial.workers(), 1);
+    assert_eq!(parallel.workers(), 4);
+
+    let s = fig15::run(&serial, &budget);
+    let p = fig15::run(&parallel, &budget);
+
+    // Byte-identical rendered table, including geomeans and speedups.
+    assert_eq!(s.report, p.report, "parallel report must match serial byte-for-byte");
+
+    // Identical structured RunResults, in identical (matrix) order.
+    assert_eq!(s.runs.len(), p.runs.len());
+    for (srow, prow) in s.runs.iter().zip(&p.runs) {
+        assert_eq!(srow.len(), prow.len());
+        for (a, b) in srow.iter().zip(prow) {
+            assert_identical(a, b);
+        }
+    }
+
+    // Identical (here: empty) degraded lists, scoped per sweep.
+    assert_eq!(serial.take_degraded(), parallel.take_degraded());
+}
+
+#[test]
+fn degraded_runs_keep_matrix_order_under_parallelism() {
+    // Poison the core so *every* run degrades; the registry must still
+    // come back in matrix order (kind-major, workload-minor), regardless
+    // of which worker finished first.
+    let budget = Budget { insts: 5_000, workload_iters: 30_000, max_workloads: Some(3) };
+    let mut poisoned = CoreConfig::alder_lake();
+    poisoned.deadlock_cycles = 2;
+    let kinds = [PredictorKind::Blind, PredictorKind::TotalOrder];
+
+    let serial = Sweep::serial();
+    serial.run_grid(&kinds, &poisoned, &budget);
+    let expected = serial.take_degraded();
+    assert_eq!(expected.len(), 2 * 3, "every run must degrade under the poisoned config");
+
+    let parallel = Sweep::with_workers(4);
+    parallel.run_grid(&kinds, &poisoned, &budget);
+    assert_eq!(parallel.take_degraded(), expected, "degraded registry order must be deterministic");
+}

@@ -39,7 +39,11 @@ pub use types::{
 };
 
 /// A memory dependence predictor, as driven by the out-of-order core.
-pub trait MemDepPredictor {
+///
+/// `Send` is a supertrait: the sweep engine in `phast-experiments` moves
+/// simulator cores (and their predictors) across worker threads, so every
+/// predictor must be free of `Rc`/non-`Send` interior state.
+pub trait MemDepPredictor: Send {
     /// A short, unique, human-readable name (appears in experiment output).
     fn name(&self) -> String;
 

@@ -19,7 +19,7 @@ use crate::MemDepPredictor;
 use phast_isa::{ranges_overlap, EmuError, Emulator, Op, Program, Reg};
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Fig. 4 statistics gathered while building the oracle.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -172,14 +172,18 @@ impl DepOracle {
 /// A dependence is reported only when the conflicting store is still among
 /// the load's older in-flight stores; otherwise the data is already in the
 /// cache (or forwardable) and no stall is needed.
+///
+/// The oracle is shared via [`Arc`] (not `Rc`) so predictors can be built
+/// and run on worker threads — the sweep engine in `phast-experiments`
+/// fans (workload, predictor) runs across a thread pool.
 #[derive(Clone)]
 pub struct OraclePredictor {
-    oracle: Rc<DepOracle>,
+    oracle: Arc<DepOracle>,
 }
 
 impl OraclePredictor {
     /// Creates an ideal predictor over a prebuilt oracle.
-    pub fn new(oracle: Rc<DepOracle>) -> OraclePredictor {
+    pub fn new(oracle: Arc<DepOracle>) -> OraclePredictor {
         OraclePredictor { oracle }
     }
 }
@@ -296,7 +300,7 @@ mod tests {
     #[test]
     fn oracle_predictor_respects_flight_window() {
         let p = dep_program();
-        let o = Rc::new(DepOracle::build(&p, 100, 128).unwrap());
+        let o = Arc::new(DepOracle::build(&p, 100, 128).unwrap());
         let mut pred = OraclePredictor::new(o);
         let h = phast_branch::DivergentHistory::new();
         let q = LoadQuery { pc: 0, token: 0, history: &h, arch_seq: 3, older_stores: 1 };

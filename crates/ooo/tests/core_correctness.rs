@@ -8,7 +8,7 @@ use phast_isa::{
 };
 use phast_mdp::{BlindSpeculation, DepOracle, MemDepPredictor, OraclePredictor, TotalOrder};
 use phast_ooo::{simulate, Core, CoreConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn run_core(program: &Program, predictor: &mut dyn MemDepPredictor, cfg: &CoreConfig) -> phast_ooo::SimStats {
     simulate(program, cfg, predictor, 1_000_000)
@@ -241,7 +241,7 @@ fn total_order_never_violates() {
 #[test]
 fn oracle_eliminates_violations_and_false_deps() {
     let p = late_store_program(200);
-    let oracle = Rc::new(DepOracle::build(&p, 1_000_000, 256).unwrap());
+    let oracle = Arc::new(DepOracle::build(&p, 1_000_000, 256).unwrap());
     let mut pred = OraclePredictor::new(oracle);
     let stats = run_core(&p, &mut pred, &CoreConfig::alder_lake());
     assert_eq!(stats.violations, 0, "the ideal predictor never squashes");
@@ -251,7 +251,7 @@ fn oracle_eliminates_violations_and_false_deps() {
 #[test]
 fn oracle_beats_blind_and_total_order_on_ipc() {
     let p = late_store_program(500);
-    let oracle = Rc::new(DepOracle::build(&p, 1_000_000, 256).unwrap());
+    let oracle = Arc::new(DepOracle::build(&p, 1_000_000, 256).unwrap());
     let ideal = run_core(&p, &mut OraclePredictor::new(oracle), &CoreConfig::alder_lake());
     let blind = run_core(&p, &mut BlindSpeculation, &CoreConfig::alder_lake());
     let total = run_core(&p, &mut TotalOrder, &CoreConfig::alder_lake());

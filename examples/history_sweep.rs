@@ -8,15 +8,20 @@
 //! cargo run --release --example history_sweep
 //! ```
 
-use phast_experiments::harness::{geomean, normalized_ipc, run_all};
+use phast_experiments::harness::{geomean, normalized_ipc, Sweep};
 use phast_experiments::{Budget, PredictorKind};
 use phast_ooo::CoreConfig;
 
 fn main() {
     let budget = Budget { insts: 120_000, workload_iters: 500_000, max_workloads: None };
     let cfg = CoreConfig::alder_lake();
-    println!("running the unlimited-predictor sweep ({} workloads)...\n", budget.workloads().len());
-    let ideal = run_all(&PredictorKind::Ideal, &cfg, &budget);
+    let sweep = Sweep::parallel();
+    println!(
+        "running the unlimited-predictor sweep ({} workloads, {} workers)...\n",
+        budget.workloads().len(),
+        sweep.workers()
+    );
+    let ideal = sweep.run_all(&PredictorKind::Ideal, &cfg, &budget);
 
     println!("{:<16} {:>12} {:>14}", "predictor", "norm. IPC", "paths tracked");
     let mut kinds: Vec<PredictorKind> = [1, 2, 4, 6, 8, 10, 12, 16]
@@ -27,7 +32,7 @@ fn main() {
     kinds.push(PredictorKind::UnlimitedPhast(None));
 
     for kind in &kinds {
-        let runs = run_all(kind, &cfg, &budget);
+        let runs = sweep.run_all(kind, &cfg, &budget);
         let g = geomean(&normalized_ipc(&runs, &ideal));
         let paths: u64 = runs.iter().map(|r| r.num_paths).sum();
         println!("{:<16} {:>12.4} {:>14}", kind.label(), g, paths);

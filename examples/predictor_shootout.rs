@@ -7,7 +7,7 @@
 //! cargo run --release --example predictor_shootout -- quick # 6 workloads
 //! ```
 
-use phast_experiments::harness::{geomean, normalized_ipc, run_all};
+use phast_experiments::harness::{geomean, normalized_ipc, Sweep};
 use phast_experiments::{Budget, PredictorKind};
 use phast_ooo::CoreConfig;
 
@@ -15,6 +15,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let budget = if quick { Budget::quick() } else { Budget::full() };
     let cfg = CoreConfig::alder_lake();
+    let sweep = Sweep::parallel();
 
     let kinds = [
         PredictorKind::Blind,
@@ -28,15 +29,20 @@ fn main() {
         PredictorKind::Phast,
     ];
 
-    println!("simulating {} workloads x {} predictors...", budget.workloads().len(), kinds.len() + 1);
-    let ideal = run_all(&PredictorKind::Ideal, &cfg, &budget);
+    println!(
+        "simulating {} workloads x {} predictors on {} worker(s)...",
+        budget.workloads().len(),
+        kinds.len() + 1,
+        sweep.workers()
+    );
+    let ideal = sweep.run_all(&PredictorKind::Ideal, &cfg, &budget);
 
     println!(
         "\n{:<14} {:>10} {:>10} {:>10} {:>10}",
         "predictor", "norm. IPC", "MPKI FN", "MPKI FP", "size KB"
     );
     for kind in &kinds {
-        let runs = run_all(kind, &cfg, &budget);
+        let runs = sweep.run_all(kind, &cfg, &budget);
         let g = geomean(&normalized_ipc(&runs, &ideal));
         let n = runs.len() as f64;
         let fnm = runs.iter().map(|r| r.stats.violation_mpki()).sum::<f64>() / n;

@@ -8,7 +8,7 @@
 //! recorded with partial statistics instead of aborting, and the remaining
 //! (workload, predictor) pairs still complete.
 
-use phast_experiments::harness::{run_one, take_degraded, Budget};
+use phast_experiments::harness::{Budget, Sweep};
 use phast_experiments::PredictorKind;
 use phast_ooo::{try_simulate, CheckConfig, CoreConfig, FaultPlan};
 
@@ -101,31 +101,36 @@ fn fault_sequences_are_reproducible() {
 }
 
 /// One poisoned run must degrade gracefully — recorded with partial stats —
-/// while the rest of the sweep completes untouched. Single test so the
-/// process-wide degraded-run registry is not raced by parallel tests.
+/// while the rest of the sweep completes untouched. The degraded-run
+/// registry is scoped to the [`Sweep`], so parallel tests (or concurrent
+/// sweeps) cannot steal each other's reports.
 #[test]
 fn harness_degrades_gracefully_and_the_sweep_continues() {
     let budget = Budget { insts: 5_000, workload_iters: 50_000, max_workloads: None };
     let w = phast_workloads::by_name("exchange2").expect("workload exists");
+    let sweep = Sweep::serial();
 
     // Poison: a deadlock threshold shorter than the pipeline's fill latency
     // guarantees a Deadlock error before the first commit.
     let mut poisoned = CoreConfig::alder_lake();
     poisoned.deadlock_cycles = 2;
-    let bad = run_one(&w, &PredictorKind::Blind, &poisoned, &budget);
+    let bad = sweep.run_one(&w, &PredictorKind::Blind, &poisoned, &budget);
     assert!(!bad.ok(), "poisoned run must fail");
     assert_eq!(bad.failure.as_ref().map(|e| e.kind()), Some("deadlock"));
     assert!(bad.stats.committed < 5_000, "statistics are partial, not fabricated");
 
-    // The failure is in the registry exactly once, naming the pair.
-    let degraded = take_degraded();
+    // The failure is in the registry exactly once, naming the pair — and
+    // only in this sweep's registry, not in any other sweep's.
+    let other_sweep = Sweep::serial();
+    assert!(other_sweep.take_degraded().is_empty(), "registries are per-sweep");
+    let degraded = sweep.take_degraded();
     assert_eq!(degraded.len(), 1);
     assert!(degraded[0].contains("exchange2"), "entry names the workload: {}", degraded[0]);
 
     // The sweep continues: the same pair with a sane config still works,
     // and leaves the registry empty.
-    let good = run_one(&w, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
+    let good = sweep.run_one(&w, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
     assert!(good.ok());
     assert!(good.stats.committed >= 5_000);
-    assert!(take_degraded().is_empty());
+    assert!(sweep.take_degraded().is_empty());
 }

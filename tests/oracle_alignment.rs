@@ -3,9 +3,18 @@
 //! memory-order squashes. If `arch_seq` ever drifted, the oracle would
 //! answer for the wrong dynamic instruction and violations would appear.
 
-use phast_experiments::harness::{run_all, run_one, Budget};
+use phast_experiments::harness::{Budget, RunResult, Sweep};
 use phast_experiments::PredictorKind;
 use phast_ooo::CoreConfig;
+use phast_workloads::Workload;
+
+fn run_one(w: &Workload, kind: &PredictorKind, cfg: &CoreConfig, budget: &Budget) -> RunResult {
+    Sweep::serial().run_one(w, kind, cfg, budget)
+}
+
+fn run_all(kind: &PredictorKind, cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
+    Sweep::parallel().run_all(kind, cfg, budget)
+}
 
 #[test]
 fn ideal_predictor_never_violates_on_branchy_workloads() {

@@ -10,12 +10,18 @@
 //! 5. UnlimitedPHAST tracks far fewer paths than a 16-branch fixed-length
 //!    NoSQ (paper: less than a third).
 
-use phast_experiments::harness::{geomean, normalized_ipc, run_all};
+use phast_experiments::harness::{geomean, normalized_ipc, RunResult, Sweep};
 use phast_experiments::{Budget, PredictorKind};
 use phast_ooo::CoreConfig;
 
 fn budget() -> Budget {
     Budget { insts: 60_000, workload_iters: 400_000, max_workloads: None }
+}
+
+/// Runs every budgeted workload under one predictor on a parallel sweep
+/// scoped to this call (degraded-run reports stay local to the test).
+fn run_all(kind: &PredictorKind, cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
+    Sweep::parallel().run_all(kind, cfg, budget)
 }
 
 #[test]
