@@ -30,6 +30,8 @@ impl ChtConfig {
 /// behaviour that made CHT's false-dependence MPKI high (paper Fig. 1).
 pub struct Cht {
     cfg: ChtConfig,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     counters: Vec<u8>,
     stats: AccessStats,
 }
@@ -44,7 +46,12 @@ impl Cht {
     pub fn new(cfg: ChtConfig) -> Cht {
         assert!(cfg.entries.is_power_of_two(), "entries must be a power of two");
         assert!((1..=8).contains(&cfg.counter_bits), "counter bits must be 1..=8");
-        Cht { counters: vec![0; cfg.entries], cfg, stats: AccessStats::default() }
+        Cht {
+            name: format!("cht-{:.1}KB", cfg.storage_bits() as f64 / 8192.0),
+            counters: vec![0; cfg.entries],
+            cfg,
+            stats: AccessStats::default(),
+        }
     }
 
     #[inline]
@@ -62,8 +69,8 @@ impl Cht {
 }
 
 impl MemDepPredictor for Cht {
-    fn name(&self) -> String {
-        format!("cht-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

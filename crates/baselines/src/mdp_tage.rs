@@ -1,7 +1,7 @@
 //! MDP-TAGE (Perais & Seznec, PACT 2018), evaluated standalone with a
 //! 7-bit store-distance field as in the paper's §II-C.
 
-use phast_branch::DivergentHistory;
+use phast_branch::{DivergentHistory, PathFolder};
 use phast_isa::Pc;
 use phast_mdp::{
     pc_index_hash, pc_tag_hash, AccessStats, AssocTable, DepPrediction, LoadCommit, LoadQuery,
@@ -114,6 +114,8 @@ struct Entry {
 /// with the exact N+1 rule.
 pub struct MdpTage {
     cfg: MdpTageConfig,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     tables: Vec<AssocTable<Entry>>,
     accesses: u64,
     lfsr: u32,
@@ -123,6 +125,12 @@ pub struct MdpTage {
 impl MdpTage {
     /// Creates an MDP-TAGE predictor.
     pub fn new(cfg: MdpTageConfig) -> MdpTage {
+        // `provider` folds every component from one incremental history
+        // walk, which requires the documented shortest-first ordering.
+        assert!(
+            cfg.components.windows(2).all(|w| w[0].history_len <= w[1].history_len),
+            "components must be ordered shortest history first"
+        );
         let tables = cfg
             .components
             .iter()
@@ -130,14 +138,21 @@ impl MdpTage {
                 AssocTable::new(TableGeometry { sets: c.sets, ways: c.ways, tag_bits: c.tag_bits })
             })
             .collect();
-        MdpTage { tables, cfg, accesses: 0, lfsr: 0xbeef, stats: AccessStats::default() }
+        let style = if cfg.lru_bits > 0 { "mdp-tage-s" } else { "mdp-tage" };
+        let name = format!("{style}-{:.1}KB", cfg.storage_bits() as f64 / 8192.0);
+        MdpTage { tables, cfg, name, accesses: 0, lfsr: 0xbeef, stats: AccessStats::default() }
     }
 
     fn keys(&self, ci: usize, pc: Pc, history: &DivergentHistory) -> (u64, u64) {
         let c = &self.cfg.components[ci];
         let index_bits = c.sets.trailing_zeros();
-        let path = history.path_plain(c.history_len as usize);
-        let folded = path.fold(index_bits + c.tag_bits);
+        let folded = history.fold_plain(c.history_len as usize, index_bits + c.tag_bits);
+        self.keys_folded(ci, pc, folded)
+    }
+
+    /// Index/tag from an already folded history (see [`PathFolder`]).
+    fn keys_folded(&self, ci: usize, pc: Pc, folded: u64) -> (u64, u64) {
+        let index_bits = self.cfg.components[ci].sets.trailing_zeros();
         let index = pc_index_hash(pc) ^ (folded & ((1 << index_bits) - 1));
         let tag = pc_tag_hash(pc) ^ (folded >> index_bits);
         (index, tag)
@@ -164,10 +179,17 @@ impl MdpTage {
     }
 
     fn provider(&mut self, pc: Pc, history: &DivergentHistory) -> Option<(usize, u8)> {
+        // One incremental walk of the history serves every component:
+        // the geometric series probes shortest history first, so each
+        // component's path is a prefix of the next (per-load hot path).
         let mut found = None;
+        let mut folder = PathFolder::new(history);
         for ci in 0..self.tables.len() {
             self.stats.reads += 1;
-            let (index, tag) = self.keys(ci, pc, history);
+            let c = &self.cfg.components[ci];
+            let bits = c.sets.trailing_zeros() + c.tag_bits;
+            let folded = folder.fold_plain(c.history_len as usize, bits);
+            let (index, tag) = self.keys_folded(ci, pc, folded);
             if let Some(e) = self.tables[ci].peek(index, tag) {
                 if e.useful {
                     found = Some((ci, e.distance));
@@ -186,12 +208,12 @@ impl MdpTage {
             Entry { distance: distance.min(MAX_STORE_DISTANCE) as u8, useful: true },
         );
     }
+
 }
 
 impl MemDepPredictor for MdpTage {
-    fn name(&self) -> String {
-        let style = if self.cfg.lru_bits > 0 { "mdp-tage-s" } else { "mdp-tage" };
-        format!("{style}-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

@@ -86,6 +86,8 @@ struct Entry {
 /// The NoSQ store-distance predictor.
 pub struct NoSqPredictor {
     cfg: NoSqConfig,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     insensitive: AssocTable<Entry>,
     sensitive: AssocTable<Entry>,
     index_bits: u32,
@@ -100,6 +102,7 @@ impl NoSqPredictor {
     pub fn new(cfg: NoSqConfig) -> NoSqPredictor {
         let geo = TableGeometry { sets: cfg.sets, ways: cfg.ways, tag_bits: cfg.tag_bits };
         NoSqPredictor {
+            name: format!("nosq-{:.1}KB", cfg.storage_bits() as f64 / 8192.0),
             insensitive: AssocTable::new(geo),
             sensitive: AssocTable::new(geo),
             index_bits: cfg.sets.trailing_zeros(),
@@ -110,10 +113,7 @@ impl NoSqPredictor {
 
     fn keys(&self, pc: Pc, history: Option<&DivergentHistory>) -> (u64, u64) {
         let folded = match history {
-            Some(h) => {
-                let path = h.path_plain(self.cfg.history_len as usize);
-                path.fold(self.index_bits + self.cfg.tag_bits)
-            }
+            Some(h) => h.fold_plain(self.cfg.history_len as usize, self.index_bits + self.cfg.tag_bits),
             None => 0,
         };
         let index = pc_index_hash(pc) ^ (folded & ((1 << self.index_bits) - 1));
@@ -123,8 +123,8 @@ impl NoSqPredictor {
 }
 
 impl MemDepPredictor for NoSqPredictor {
-    fn name(&self) -> String {
-        format!("nosq-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

@@ -59,6 +59,8 @@ impl StoreSetsConfig {
 /// merging sets toward the smaller SSID when both already have one.
 pub struct StoreSets {
     cfg: StoreSetsConfig,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     ssit: Vec<Option<u32>>,
     /// SSID -> (store token, store pc). The PC lets `store_executed`
     /// invalidate without a reverse map.
@@ -72,6 +74,7 @@ impl StoreSets {
     /// Creates a Store Sets predictor.
     pub fn new(cfg: StoreSetsConfig) -> StoreSets {
         StoreSets {
+            name: format!("store-sets-{:.1}KB", cfg.storage_bits() as f64 / 8192.0),
             ssit: vec![None; cfg.ssit_entries],
             lfst: vec![None; cfg.lfst_entries],
             cfg,
@@ -102,8 +105,8 @@ impl StoreSets {
 }
 
 impl MemDepPredictor for StoreSets {
-    fn name(&self) -> String {
-        format!("store-sets-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

@@ -33,6 +33,8 @@ impl StoreVectorConfig {
 /// older than this load has conflicted before, wait for it".
 pub struct StoreVector {
     cfg: StoreVectorConfig,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     vectors: Vec<u128>,
     events: u64,
     stats: AccessStats,
@@ -47,7 +49,13 @@ impl StoreVector {
     pub fn new(cfg: StoreVectorConfig) -> StoreVector {
         assert!(cfg.entries.is_power_of_two(), "entries must be a power of two");
         assert!(cfg.vector_bits <= 128, "vector must fit in u128");
-        StoreVector { vectors: vec![0; cfg.entries], cfg, events: 0, stats: AccessStats::default() }
+        StoreVector {
+            name: format!("store-vector-{:.1}KB", cfg.storage_bits() as f64 / 8192.0),
+            vectors: vec![0; cfg.entries],
+            cfg,
+            events: 0,
+            stats: AccessStats::default(),
+        }
     }
 
     #[inline]
@@ -64,8 +72,8 @@ impl StoreVector {
 }
 
 impl MemDepPredictor for StoreVector {
-    fn name(&self) -> String {
-        format!("store-vector-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

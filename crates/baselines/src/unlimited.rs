@@ -27,6 +27,8 @@ struct Entry {
 /// makes long fixed histories explode (Fig. 6b).
 pub struct UnlimitedNoSq {
     history_len: u32,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     entries: HashMap<(Pc, Path), Entry>,
     stats: AccessStats,
 }
@@ -34,7 +36,12 @@ pub struct UnlimitedNoSq {
 impl UnlimitedNoSq {
     /// Creates an unlimited NoSQ tracking exactly `history_len` branches.
     pub fn new(history_len: u32) -> UnlimitedNoSq {
-        UnlimitedNoSq { history_len, entries: HashMap::new(), stats: AccessStats::default() }
+        UnlimitedNoSq {
+            name: format!("unlimited-nosq-h{history_len}"),
+            history_len,
+            entries: HashMap::new(),
+            stats: AccessStats::default(),
+        }
     }
 
     fn key(&self, pc: Pc, history: &phast_branch::DivergentHistory) -> (Pc, Path) {
@@ -43,8 +50,8 @@ impl UnlimitedNoSq {
 }
 
 impl MemDepPredictor for UnlimitedNoSq {
-    fn name(&self) -> String {
-        format!("unlimited-nosq-h{}", self.history_len)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
@@ -138,8 +145,8 @@ impl Default for UnlimitedMdpTage {
 }
 
 impl MemDepPredictor for UnlimitedMdpTage {
-    fn name(&self) -> String {
-        "unlimited-mdp-tage".into()
+    fn name(&self) -> &str {
+        "unlimited-mdp-tage"
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

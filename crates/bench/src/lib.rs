@@ -8,6 +8,10 @@
 //! * `benches/tables.rs` — Table I/II generation.
 //! * `benches/predictor_micro.rs` — microbenchmarks of the predictors'
 //!   predict/train paths in isolation.
+//! * `benches/simkernel.rs` — the OoO simulation kernel end to end on a
+//!   few representative workloads, reporting simulated cycles per host
+//!   second and committed MIPS (the number the allocation-free hot-path
+//!   work targets; see docs/PROFILING.md).
 //!
 //! # Budget tiers and parallelism
 //!

@@ -27,7 +27,8 @@ mod tage;
 
 pub use direction::{Bimodal, DirectionPredictor, GShare, Perceptron, StaticTaken};
 pub use history::{
-    fold_bits, DivergentEvent, DivergentHistory, HistoryCheckpoint, Path, HISTORY_CAPACITY,
+    fold_bits, DivergentEvent, DivergentHistory, HistoryCheckpoint, Path, PathFolder,
+    HISTORY_CAPACITY,
 };
 pub use indirect::{LastTargetPredictor, RasCheckpoint, ReturnAddressStack};
 pub use ittage::{Ittage, IttageConfig};

@@ -1,7 +1,7 @@
 //! The cost-effective PHAST implementation (§IV-B).
 
 use crate::truncate_length;
-use phast_branch::{DivergentHistory, Path};
+use phast_branch::PathFolder;
 use phast_isa::Pc;
 use phast_mdp::{
     pc_index_hash, pc_tag_hash, AccessStats, AssocTable, DepPrediction, LoadCommit, LoadQuery,
@@ -108,6 +108,8 @@ struct Entry {
 /// history provides the prediction.
 pub struct Phast {
     cfg: PhastConfig,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     tables: Vec<AssocTable<Entry>>,
     index_bits: u32,
     stats: AccessStats,
@@ -119,7 +121,13 @@ impl Phast {
         assert!(!cfg.history_lengths.is_empty(), "need at least one history length");
         let geo = TableGeometry { sets: cfg.sets, ways: cfg.ways, tag_bits: cfg.tag_bits };
         let tables = cfg.history_lengths.iter().map(|_| AssocTable::new(geo)).collect();
-        Phast { index_bits: cfg.sets.trailing_zeros(), tables, cfg, stats: AccessStats::default() }
+        Phast {
+            name: format!("phast-{:.1}KB", cfg.storage_bits() as f64 / 8192.0),
+            index_bits: cfg.sets.trailing_zeros(),
+            tables,
+            cfg,
+            stats: AccessStats::default(),
+        }
     }
 
     /// The predictor's configuration.
@@ -127,34 +135,35 @@ impl Phast {
         &self.cfg
     }
 
-    /// Computes the `(index, tag)` pair for a load PC and a collected path.
-    /// The folded history spans S+T bits; index and tag take disjoint
-    /// slices, each XORed with a distinct PC hash (§IV-B).
-    fn index_tag(&self, pc: Pc, path: &Path) -> (u64, u64) {
+    /// Computes the `(index, tag)` pair for a load PC and a folded
+    /// history. The folded history spans S+T bits; index and tag take
+    /// disjoint slices, each XORed with a distinct PC hash (§IV-B).
+    fn index_tag(&self, pc: Pc, folded: u64) -> (u64, u64) {
         let s = self.index_bits;
-        let t = self.cfg.tag_bits;
-        let folded = path.fold(s + t);
         let index = pc_index_hash(pc) ^ (folded & ((1 << s) - 1));
         let tag = pc_tag_hash(pc) ^ (folded >> s);
         (index, tag)
     }
 
-    /// Probes one table; returns the entry's distance if confident.
+    /// Folds the history entries a length-L table hashes, without
+    /// collecting a [`Path`] (allocation-free hot path).
     ///
     /// A table configured for length L (L = divergent branches between
     /// store and load) hashes L+1 history entries: the paper's N+1 rule
     /// always includes the divergent branch previous to the store.
-    fn collect(&self, len: u32, history: &DivergentHistory) -> Path {
+    /// `folder` carries the shared prefix across ascending-length probes.
+    fn fold(&self, len: u32, folder: &mut PathFolder<'_>) -> u64 {
+        let bits = self.index_bits + self.cfg.tag_bits;
         if self.cfg.n_plus_one {
-            history.path(len as usize + 1)
+            folder.fold_path(len as usize + 1, bits)
         } else {
-            history.path_plain(len as usize)
+            folder.fold_plain(len as usize, bits)
         }
     }
 
-    fn probe(&mut self, li: usize, pc: Pc, history: &DivergentHistory) -> Option<u32> {
-        let path = self.collect(self.cfg.history_lengths[li], history);
-        let (index, tag) = self.index_tag(pc, &path);
+    fn probe(&mut self, li: usize, pc: Pc, folder: &mut PathFolder<'_>) -> Option<u32> {
+        let folded = self.fold(self.cfg.history_lengths[li], folder);
+        let (index, tag) = self.index_tag(pc, folded);
         self.stats.reads += 1;
         let entry = self.tables[li].peek(index, tag)?;
         (entry.confidence > 0).then_some(u32::from(entry.distance))
@@ -162,15 +171,18 @@ impl Phast {
 }
 
 impl MemDepPredictor for Phast {
-    fn name(&self) -> String {
-        format!("phast-{:.1}KB", self.storage_bits() as f64 / 8192.0)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {
         // Probe every table; the longest matching history wins (§IV-A3).
+        // One incremental history walk feeds all probes: lengths ascend,
+        // so each table's path extends the previous table's prefix.
         let mut best: Option<(usize, u32)> = None;
+        let mut folder = PathFolder::new(q.history);
         for li in 0..self.tables.len() {
-            if let Some(dist) = self.probe(li, q.pc, q.history) {
+            if let Some(dist) = self.probe(li, q.pc, &mut folder) {
                 best = Some((li, dist));
             }
         }
@@ -192,8 +204,8 @@ impl MemDepPredictor for Phast {
             .iter()
             .position(|&l| l == len)
             .expect("truncate_length returns a configured length");
-        let path = self.collect(len, v.history);
-        let (index, tag) = self.index_tag(v.load_pc, &path);
+        let folded = self.fold(len, &mut PathFolder::new(v.history));
+        let (index, tag) = self.index_tag(v.load_pc, folded);
         let entry = Entry {
             distance: v.store_distance.min(MAX_STORE_DISTANCE) as u8,
             confidence: self.cfg.max_confidence(),
@@ -209,8 +221,8 @@ impl MemDepPredictor for Phast {
         if li >= self.tables.len() {
             return;
         }
-        let path = self.collect(self.cfg.history_lengths[li], c.history);
-        let (index, tag) = self.index_tag(c.pc, &path);
+        let folded = self.fold(self.cfg.history_lengths[li], &mut PathFolder::new(c.history));
+        let (index, tag) = self.index_tag(c.pc, folded);
         let max = self.cfg.max_confidence();
         self.stats.writes += 1;
         if let Some(e) = self.tables[li].lookup(index, tag) {
@@ -238,7 +250,7 @@ impl MemDepPredictor for Phast {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phast_branch::DivergentEvent;
+    use phast_branch::{DivergentEvent, DivergentHistory};
 
     fn history_with(events: &[(bool, u64)]) -> DivergentHistory {
         let mut h = DivergentHistory::new();

@@ -24,6 +24,8 @@ pub struct UnlimitedPhast {
     /// Optional cap on tracked history length (the Fig. 11 sweep);
     /// `None` tracks the full path however long.
     max_len: Option<u32>,
+    /// Cached display name (`name()` must not allocate per call).
+    name: String,
     entries: HashMap<(Pc, Path), Entry>,
     lengths_by_pc: HashMap<Pc, BTreeSet<u32>>,
     /// Unique conflicts first registered at each history length (Fig. 10).
@@ -41,6 +43,10 @@ impl UnlimitedPhast {
     /// most `max_len` divergent branches (Fig. 11 sensitivity study).
     pub fn with_max_length(max_len: Option<u32>) -> UnlimitedPhast {
         UnlimitedPhast {
+            name: match max_len {
+                Some(cap) => format!("unlimited-phast-max{cap}"),
+                None => "unlimited-phast".into(),
+            },
             max_len,
             entries: HashMap::new(),
             lengths_by_pc: HashMap::new(),
@@ -70,11 +76,8 @@ impl Default for UnlimitedPhast {
 }
 
 impl MemDepPredictor for UnlimitedPhast {
-    fn name(&self) -> String {
-        match self.max_len {
-            Some(cap) => format!("unlimited-phast-max{cap}"),
-            None => "unlimited-phast".into(),
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

@@ -145,6 +145,10 @@ pub struct RunRecord {
     pub num_paths: u64,
     /// Host wall-clock seconds this run took to simulate.
     pub wall_s: f64,
+    /// Simulation throughput in committed mega-instructions per host
+    /// second (`committed / wall_s / 1e6`); 0 when the run took no
+    /// measurable time.
+    pub mips: f64,
     /// The degradation message if the run failed, `None` if it ran clean.
     pub degraded: Option<String>,
 }
@@ -161,6 +165,7 @@ impl RunRecord {
             ("committed", JsonValue::UInt(self.committed)),
             ("num_paths", JsonValue::UInt(self.num_paths)),
             ("wall_s", JsonValue::Float(self.wall_s)),
+            ("mips", JsonValue::Float(self.mips)),
             (
                 "degraded",
                 match &self.degraded {
@@ -197,6 +202,22 @@ pub struct SweepArtifact {
 }
 
 impl SweepArtifact {
+    /// Aggregate simulation throughput: total committed instructions of
+    /// clean runs divided by their summed per-run host wall-clock, in
+    /// millions per second. The per-run walls are used (not the sweep
+    /// wall) so the figure is comparable between serial and parallel
+    /// sweeps.
+    pub fn simulated_mips(&self) -> f64 {
+        let clean = self.runs.iter().filter(|r| r.degraded.is_none());
+        let (committed, wall_s) = clean
+            .fold((0u64, 0.0f64), |(c, w), r| (c + r.committed, w + r.wall_s));
+        if wall_s > 0.0 {
+            committed as f64 / wall_s / 1e6
+        } else {
+            0.0
+        }
+    }
+
     /// Renders the artifact as JSON.
     pub fn to_json(&self) -> String {
         let mut out = JsonValue::obj(vec![
@@ -212,6 +233,7 @@ impl SweepArtifact {
                 ]),
             ),
             ("wall_s", JsonValue::Float(self.wall_s)),
+            ("simulated_mips", JsonValue::Float(self.simulated_mips())),
             ("runs", JsonValue::Array(self.runs.iter().map(RunRecord::to_json).collect())),
             (
                 "degraded",
@@ -269,6 +291,7 @@ mod tests {
             committed: 3250,
             num_paths: 0,
             wall_s: 0.125,
+            mips: 3250.0 / 0.125 / 1e6,
             degraded: None,
         }
     }
@@ -308,6 +331,44 @@ mod tests {
         }
         // Exactly one run object per record.
         assert_eq!(s.matches("\"predictor\"").count(), 2);
+    }
+
+    #[test]
+    fn simulated_mips_aggregates_clean_runs_only() {
+        let mut bad = record("mcf");
+        bad.degraded = Some("mcf × phast: deadlock".into());
+        let a = SweepArtifact {
+            id: "fig15".into(),
+            git: "abc1234".into(),
+            workers: 1,
+            budget_insts: 300_000,
+            budget_iters: 1_000_000,
+            workloads: 2,
+            wall_s: 0.5,
+            runs: vec![record("gcc_1"), record("gcc_2"), bad],
+            degraded: vec![],
+        };
+        // Two clean runs: (3250 + 3250) / (0.125 + 0.125) / 1e6.
+        let expect = 6500.0 / 0.25 / 1e6;
+        assert!((a.simulated_mips() - expect).abs() < 1e-12, "{}", a.simulated_mips());
+        assert!(a.to_json().contains("\"simulated_mips\""));
+        assert!(a.to_json().contains("\"mips\""));
+    }
+
+    #[test]
+    fn simulated_mips_is_zero_without_runs() {
+        let a = SweepArtifact {
+            id: "empty".into(),
+            git: "unknown".into(),
+            workers: 1,
+            budget_insts: 1,
+            budget_iters: 1,
+            workloads: 0,
+            wall_s: 0.0,
+            runs: vec![],
+            degraded: vec![],
+        };
+        assert_eq!(a.simulated_mips(), 0.0);
     }
 
     #[test]

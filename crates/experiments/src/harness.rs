@@ -112,6 +112,10 @@ impl RunResult {
             committed: self.stats.committed,
             num_paths: self.num_paths,
             wall_s: self.wall.as_secs_f64(),
+            mips: {
+                let wall_s = self.wall.as_secs_f64();
+                if wall_s > 0.0 { self.stats.committed as f64 / wall_s / 1e6 } else { 0.0 }
+            },
             degraded: self.degraded_entry(),
         }
     }

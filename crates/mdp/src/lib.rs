@@ -45,7 +45,11 @@ pub use types::{
 /// predictor must be free of `Rc`/non-`Send` interior state.
 pub trait MemDepPredictor: Send {
     /// A short, unique, human-readable name (appears in experiment output).
-    fn name(&self) -> String;
+    ///
+    /// Returns a borrowed string so hot callers (per-run logging, stat
+    /// labelling) do not allocate; implementations with config-dependent
+    /// names cache the formatted name at construction time.
+    fn name(&self) -> &str;
 
     /// Predicts whether the load dispatching now depends on an older
     /// in-flight store.

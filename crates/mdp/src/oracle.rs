@@ -17,7 +17,6 @@
 use crate::types::{AccessStats, DepPrediction, LoadQuery, PredictionOutcome, Violation};
 use crate::MemDepPredictor;
 use phast_isa::{ranges_overlap, EmuError, Emulator, Op, Program, Reg};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -66,9 +65,13 @@ struct StoreRec {
 /// Precomputed perfect dependence information for one program execution.
 #[derive(Clone, Debug)]
 pub struct DepOracle {
-    /// load arch-seq → (store distance, store arch-seq) of the youngest
-    /// conflicting older store within the tracking window.
-    deps: HashMap<u64, (u32, u64)>,
+    /// `(load arch-seq, (store distance, store arch-seq))` of the youngest
+    /// conflicting older store within the tracking window, sorted by load
+    /// sequence. Loads retire in ascending order during the build pass, so
+    /// the vector is sorted by construction and [`lookup`](Self::lookup)
+    /// is a dense binary search instead of a hash probe — the oracle is
+    /// queried once per in-flight load on the simulator's fetch path.
+    deps: Vec<(u64, (u32, u64))>,
     stats: MultiStoreStats,
 }
 
@@ -83,29 +86,39 @@ impl DepOracle {
     pub fn build(program: &Program, max_insts: u64, window: usize) -> Result<DepOracle, EmuError> {
         let mut emu = Emulator::new(program);
         let mut recent: VecDeque<StoreRec> = VecDeque::with_capacity(window);
-        let mut deps = HashMap::new();
+        let mut deps = Vec::new();
         let mut stats = MultiStoreStats::default();
+        // Scratch for the per-load byte-provider analysis, reused across
+        // the whole pass instead of allocated per load.
+        let mut providers: Vec<(u64, Option<Reg>)> = Vec::new();
 
         while emu.retired() < max_insts {
             let Some((block, index)) = emu.cursor() else { break };
-            let inst = program.inst(block, index).clone();
+            // Only the memory-op kind and the base register are needed, so
+            // borrow the instruction instead of cloning it (indirect jumps
+            // carry a heap-allocated target list).
+            let inst = program.inst(block, index);
+            let (mem_size, src1) = match inst.op {
+                Op::Store(size) => (Some((size.bytes(), true)), inst.src1),
+                Op::Load(size) => (Some((size.bytes(), false)), inst.src1),
+                _ => (None, None),
+            };
             let Some(rec) = emu.step()? else { break };
-            match inst.op {
-                Op::Store(size) => {
+            match mem_size {
+                Some((size, true)) => {
                     if recent.len() == window {
                         recent.pop_front();
                     }
                     recent.push_back(StoreRec {
                         seq: rec.seq,
                         addr: rec.eff_addr.expect("store has address"),
-                        size: size.bytes(),
-                        base: inst.src1,
+                        size,
+                        base: src1,
                     });
                 }
-                Op::Load(size) => {
+                Some((bytes, false)) => {
                     stats.loads += 1;
                     let addr = rec.eff_addr.expect("load has address");
-                    let bytes = size.bytes();
                     // Youngest conflicting store: first overlap scanning
                     // from the youngest end.
                     let mut youngest: Option<(u32, u64)> = None;
@@ -116,10 +129,14 @@ impl DepOracle {
                         }
                     }
                     if let Some(found) = youngest {
-                        deps.insert(rec.seq, found);
+                        debug_assert!(
+                            deps.last().is_none_or(|&(s, _)| s < rec.seq),
+                            "loads retire in ascending sequence order"
+                        );
+                        deps.push((rec.seq, found));
                     }
                     // Byte-provider analysis for Fig. 4.
-                    let mut providers: Vec<&StoreRec> = Vec::new();
+                    providers.clear();
                     for b in 0..bytes {
                         let byte_addr = addr.wrapping_add(b);
                         if let Some(st) = recent
@@ -127,8 +144,8 @@ impl DepOracle {
                             .rev()
                             .find(|st| ranges_overlap(byte_addr, 1, st.addr, st.size))
                         {
-                            if !providers.iter().any(|p| p.seq == st.seq) {
-                                providers.push(st);
+                            if !providers.iter().any(|&(seq, _)| seq == st.seq) {
+                                providers.push((st.seq, st.base));
                             }
                         }
                     }
@@ -137,14 +154,14 @@ impl DepOracle {
                         1 => stats.single_store_loads += 1,
                         _ => {
                             stats.multi_store_loads += 1;
-                            let base0 = providers[0].base;
-                            if providers.iter().all(|p| p.base == base0 && base0.is_some()) {
+                            let base0 = providers[0].1;
+                            if providers.iter().all(|&(_, b)| b == base0 && base0.is_some()) {
                                 stats.multi_store_same_base += 1;
                             }
                         }
                     }
                 }
-                _ => {}
+                None => {}
             }
         }
         Ok(DepOracle { deps, stats })
@@ -153,7 +170,10 @@ impl DepOracle {
     /// The dependence of the dynamic load with architectural sequence
     /// number `load_seq`: `(store distance, store seq)`.
     pub fn lookup(&self, load_seq: u64) -> Option<(u32, u64)> {
-        self.deps.get(&load_seq).copied()
+        self.deps
+            .binary_search_by_key(&load_seq, |&(seq, _)| seq)
+            .ok()
+            .map(|i| self.deps[i].1)
     }
 
     /// Number of loads with at least one in-window dependence.
@@ -189,8 +209,8 @@ impl OraclePredictor {
 }
 
 impl MemDepPredictor for OraclePredictor {
-    fn name(&self) -> String {
-        "ideal".into()
+    fn name(&self) -> &str {
+        "ideal"
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

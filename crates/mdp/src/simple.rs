@@ -10,8 +10,8 @@ use crate::MemDepPredictor;
 pub struct BlindSpeculation;
 
 impl MemDepPredictor for BlindSpeculation {
-    fn name(&self) -> String {
-        "blind-speculation".into()
+    fn name(&self) -> &str {
+        "blind-speculation"
     }
 
     fn predict_load(&mut self, _q: &LoadQuery<'_>) -> PredictionOutcome {
@@ -35,8 +35,8 @@ impl MemDepPredictor for BlindSpeculation {
 pub struct TotalOrder;
 
 impl MemDepPredictor for TotalOrder {
-    fn name(&self) -> String {
-        "total-order".into()
+    fn name(&self) -> &str {
+        "total-order"
     }
 
     fn predict_load(&mut self, q: &LoadQuery<'_>) -> PredictionOutcome {

@@ -42,10 +42,19 @@ struct Slot<E> {
 /// The caller provides pre-hashed index and tag values; the table masks
 /// them to its geometry. Lookups refresh LRU; insertion replaces the LRU
 /// way unless the caller's `keep` predicate protects it.
+///
+/// Storage is one dense slab with `ways` contiguous slots per set — a
+/// per-set `Vec` would put every probe two dependent pointer chases into
+/// separately allocated sets, which dominates the wall clock of large
+/// direct-mapped configurations like MDP-TAGE's 16K-entry layout. The
+/// first `lens[set]` slots of a set are valid, in insertion order, so
+/// probe order (and LRU tie-breaking) matches the nested-`Vec` layout
+/// exactly.
 #[derive(Clone, Debug)]
 pub struct AssocTable<E> {
     geo: TableGeometry,
-    sets: Vec<Vec<Slot<E>>>,
+    slots: Vec<Option<Slot<E>>>,
+    lens: Vec<u32>,
     lru_clock: u32,
 }
 
@@ -54,13 +63,16 @@ impl<E> AssocTable<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is not a power of two or `tag_bits > 32`.
+    /// Panics if `sets` is not a power of two, `ways` is zero, or
+    /// `tag_bits > 32`.
     pub fn new(geo: TableGeometry) -> AssocTable<E> {
         assert!(geo.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(geo.ways >= 1, "need at least one way");
         assert!(geo.tag_bits <= 32, "tags are at most 32 bits");
         AssocTable {
             geo,
-            sets: (0..geo.sets).map(|_| Vec::with_capacity(geo.ways)).collect(),
+            slots: (0..geo.entries()).map(|_| None).collect(),
+            lens: vec![0; geo.sets],
             lru_clock: 0,
         }
     }
@@ -80,13 +92,27 @@ impl<E> AssocTable<E> {
         (tag & ((1u64 << self.geo.tag_bits) - 1)) as u32
     }
 
+    /// The valid slots of a set, in insertion order.
+    #[inline]
+    fn ways(&self, set: usize) -> &[Option<Slot<E>>] {
+        let base = set * self.geo.ways;
+        &self.slots[base..base + self.lens[set] as usize]
+    }
+
+    /// The valid slots of a set, mutably, in insertion order.
+    #[inline]
+    fn ways_mut(&mut self, set: usize) -> &mut [Option<Slot<E>>] {
+        let base = set * self.geo.ways;
+        &mut self.slots[base..base + self.lens[set] as usize]
+    }
+
     /// Looks up an entry, refreshing its LRU position on hit.
     pub fn lookup(&mut self, index: u64, tag: u64) -> Option<&mut E> {
         let set = self.set_of(index);
         let tag = self.tag_of(tag);
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        self.sets[set].iter_mut().find(|s| s.tag == tag).map(|s| {
+        self.ways_mut(set).iter_mut().flatten().find(|s| s.tag == tag).map(|s| {
             s.lru = clock;
             &mut s.payload
         })
@@ -96,7 +122,7 @@ impl<E> AssocTable<E> {
     pub fn peek(&self, index: u64, tag: u64) -> Option<&E> {
         let set = self.set_of(index);
         let tag = self.tag_of(tag);
-        self.sets[set].iter().find(|s| s.tag == tag).map(|s| &s.payload)
+        self.ways(set).iter().flatten().find(|s| s.tag == tag).map(|s| &s.payload)
     }
 
     /// Inserts (or replaces) the entry for `(index, tag)`.
@@ -108,16 +134,18 @@ impl<E> AssocTable<E> {
         let tag = self.tag_of(tag);
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        let ways = &mut self.sets[set];
-        if let Some(slot) = ways.iter_mut().find(|s| s.tag == tag) {
+        if let Some(slot) = self.ways_mut(set).iter_mut().flatten().find(|s| s.tag == tag) {
             slot.lru = clock;
             return Some(std::mem::replace(&mut slot.payload, payload));
         }
-        if ways.len() < self.geo.ways {
-            ways.push(Slot { tag, lru: clock, payload });
+        let len = self.lens[set] as usize;
+        if len < self.geo.ways {
+            self.slots[set * self.geo.ways + len] = Some(Slot { tag, lru: clock, payload });
+            self.lens[set] += 1;
             return None;
         }
-        let victim = ways.iter_mut().min_by_key(|s| s.lru).expect("ways > 0");
+        let victim =
+            self.ways_mut(set).iter_mut().flatten().min_by_key(|s| s.lru).expect("ways > 0");
         let old = std::mem::replace(victim, Slot { tag, lru: clock, payload });
         Some(old.payload)
     }
@@ -125,43 +153,53 @@ impl<E> AssocTable<E> {
     /// True if the set for `index` has no free way left.
     pub fn set_full(&self, index: u64) -> bool {
         let set = self.set_of(index);
-        self.sets[set].len() >= self.geo.ways
+        self.lens[set] as usize >= self.geo.ways
     }
 
     /// The payload that [`insert`](Self::insert) would evict on a conflict
     /// miss at `index` (the LRU way), if the set is full.
     pub fn lru_victim_mut(&mut self, index: u64) -> Option<&mut E> {
         let set = self.set_of(index);
-        if self.sets[set].len() < self.geo.ways {
+        if (self.lens[set] as usize) < self.geo.ways {
             return None;
         }
-        self.sets[set].iter_mut().min_by_key(|s| s.lru).map(|s| &mut s.payload)
+        self.ways_mut(set).iter_mut().flatten().min_by_key(|s| s.lru).map(|s| &mut s.payload)
     }
 
     /// Removes the entry for `(index, tag)` if present.
     pub fn remove(&mut self, index: u64, tag: u64) -> Option<E> {
         let set = self.set_of(index);
         let tag = self.tag_of(tag);
-        let ways = &mut self.sets[set];
-        let pos = ways.iter().position(|s| s.tag == tag)?;
-        Some(ways.swap_remove(pos).payload)
+        let pos = self.ways(set).iter().flatten().position(|s| s.tag == tag)?;
+        // Same shape as the old `Vec::swap_remove`: the last valid slot
+        // moves into the vacated position.
+        let base = set * self.geo.ways;
+        let last = self.lens[set] as usize - 1;
+        self.slots.swap(base + pos, base + last);
+        self.lens[set] -= 1;
+        self.slots[base + last].take().map(|s| s.payload)
     }
 
     /// Clears all entries.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.lens.fill(0);
     }
 
     /// Number of currently valid entries.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Iterates over all valid payloads mutably (used for periodic resets).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut E> {
-        self.sets.iter_mut().flatten().map(|s| &mut s.payload)
+        let AssocTable { geo, slots, lens, .. } = self;
+        slots
+            .chunks_mut(geo.ways)
+            .zip(lens.iter())
+            .flat_map(|(chunk, &len)| chunk[..len as usize].iter_mut())
+            .flatten()
+            .map(|s| &mut s.payload)
     }
 }
 

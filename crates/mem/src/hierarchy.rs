@@ -76,6 +76,9 @@ pub struct Hierarchy {
     dram_latency: u64,
     prefetcher: StridePrefetcher,
     dram_accesses: u64,
+    /// Reusable scratch buffer for prefetch candidates (keeps the access
+    /// path allocation-free in steady state).
+    pf_buf: Vec<u64>,
 }
 
 impl Hierarchy {
@@ -89,6 +92,7 @@ impl Hierarchy {
             dram_latency: cfg.dram_latency,
             prefetcher: StridePrefetcher::new(cfg.prefetcher),
             dram_accesses: 0,
+            pf_buf: Vec::with_capacity(cfg.prefetcher.degree as usize),
         }
     }
 
@@ -103,9 +107,12 @@ impl Hierarchy {
             AccessKind::Load | AccessKind::Store => self.access_from(Level::L1D, line, now),
         };
         if kind == AccessKind::Load {
-            for pf_addr in self.prefetcher.observe(pc, addr) {
+            let mut pf_buf = std::mem::take(&mut self.pf_buf);
+            self.prefetcher.observe_into(pc, addr, &mut pf_buf);
+            for &pf_addr in &pf_buf {
                 self.prefetch(line_of(pf_addr), now);
             }
+            self.pf_buf = pf_buf;
         }
         done
     }

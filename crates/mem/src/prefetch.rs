@@ -48,10 +48,19 @@ impl StridePrefetcher {
 
     /// Observes a demand load and returns the addresses to prefetch.
     pub fn observe(&mut self, pc: Pc, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(pc, addr, &mut out);
+        out
+    }
+
+    /// Observes a demand load, appending the addresses to prefetch to
+    /// `out` (cleared first). Allocation-free when `out` has capacity for
+    /// the prefetch degree — the cycle-loop hot path reuses one buffer.
+    pub fn observe_into(&mut self, pc: Pc, addr: u64, out: &mut Vec<u64>) {
+        out.clear();
         let idx = ((pc >> 2) as usize) & (self.cfg.entries - 1);
         let tag = (pc >> 2) as u32;
         let e = &mut self.table[idx];
-        let mut out = Vec::new();
         if e.tag == tag && (e.confidence > 0 || e.last_addr != 0) {
             let stride = addr.wrapping_sub(e.last_addr) as i64;
             if stride == e.stride && stride != 0 {
@@ -70,7 +79,6 @@ impl StridePrefetcher {
         } else {
             *e = Entry { tag, last_addr: addr, stride: 0, confidence: 0 };
         }
-        out
     }
 
     /// Total prefetch addresses produced so far.

@@ -33,7 +33,65 @@ use phast_mdp::{
     Violation,
 };
 use phast_mem::{line_of, AccessKind, Hierarchy};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How many wait tokens a [`TokenList`] stores inline before spilling.
+const TOKENS_INLINE: usize = 8;
+
+/// A small set of store tokens, inline up to [`TOKENS_INLINE`] entries.
+///
+/// Store Vectors is the only predictor that asks a load to wait on more
+/// than one store, and its masked distances almost never name more than a
+/// handful of live stores — so the common case stays off the heap and
+/// dispatching a load allocates nothing.
+#[derive(Clone, Debug)]
+enum TokenList {
+    Inline { len: u8, buf: [u64; TOKENS_INLINE] },
+    Spilled(Vec<u64>),
+}
+
+impl TokenList {
+    fn new() -> TokenList {
+        TokenList::Inline { len: 0, buf: [0; TOKENS_INLINE] }
+    }
+
+    fn push(&mut self, t: u64) {
+        match self {
+            TokenList::Inline { len, buf } => {
+                if (*len as usize) < TOKENS_INLINE {
+                    buf[*len as usize] = t;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(TOKENS_INLINE * 2);
+                    v.extend_from_slice(buf);
+                    v.push(t);
+                    *self = TokenList::Spilled(v);
+                }
+            }
+            TokenList::Spilled(v) => v.push(t),
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            TokenList::Inline { len, buf } => &buf[..*len as usize],
+            TokenList::Spilled(v) => v,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl PartialEq for TokenList {
+    fn eq(&self, other: &TokenList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TokenList {}
 
 /// What a load has been told to wait for.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,7 +101,7 @@ enum WaitSpec {
     /// Wait until one specific store token has executed.
     One(u64),
     /// Wait until each of these store tokens has executed (Store Vectors).
-    Many(Vec<u64>),
+    Many(TokenList),
     /// Wait until every older in-flight store has executed.
     AllOlder,
 }
@@ -172,12 +230,31 @@ pub struct Core<'a> {
     arch_regs: [u64; NUM_REGS],
     memory_state: SparseMemory,
 
-    // Back end.
+    // Back end. The ROB is the single source of truth; the queues below
+    // are incrementally maintained scoreboards over it (all token-sorted
+    // ascending, cross-checked against a from-scratch recount by
+    // `audit_invariants`) so no stage has to scan the whole ROB.
     rob: VecDeque<Uop>,
     rob_head_token: u64,
-    unissued: usize,
-    lq_count: usize,
-    sq_tokens: Vec<u64>,
+    /// Unissued uops in age order — the issue queue. Replaces the
+    /// per-cycle full-ROB issue scan.
+    iq_tokens: VecDeque<u64>,
+    /// In-flight loads in age order — the load queue. Stores search only
+    /// the suffix younger than themselves.
+    lq_tokens: VecDeque<u64>,
+    /// In-flight stores in age order — the store queue. Sorted, so
+    /// distance counts are two binary searches.
+    sq_tokens: VecDeque<u64>,
+    /// Pending writebacks as `Reverse((complete_at, token))`: uops are
+    /// completed by popping this min-heap instead of scanning the ROB.
+    /// Entries of squashed uops go stale and are recognized (and skipped)
+    /// at pop time, so squash never has to rebuild the heap.
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// In-flight writers per architectural register (the producer index
+    /// backing the RAT audit).
+    reg_writers: [u32; NUM_REGS],
+    /// Reused buffer for the violation search in `store_search_lq`.
+    scratch_violations: Vec<u64>,
     sb_drains: VecDeque<u64>,
     mem: Hierarchy,
 
@@ -242,10 +319,13 @@ impl<'a> Core<'a> {
             memory_state: SparseMemory::new(),
             rob: VecDeque::with_capacity(cfg.rob_size),
             rob_head_token: 0,
-            unissued: 0,
-            lq_count: 0,
-            sq_tokens: Vec::new(),
-            sb_drains: VecDeque::new(),
+            iq_tokens: VecDeque::with_capacity(cfg.iq_size),
+            lq_tokens: VecDeque::with_capacity(cfg.lq_size),
+            sq_tokens: VecDeque::with_capacity(cfg.sq_size),
+            completions: BinaryHeap::with_capacity(2 * cfg.rob_size),
+            reg_writers: [0; NUM_REGS],
+            scratch_violations: Vec::with_capacity(16),
+            sb_drains: VecDeque::with_capacity(cfg.sq_size),
             cycle: 0,
             last_commit_cycle: 0,
             stats: SimStats::default(),
@@ -338,9 +418,9 @@ impl<'a> Core<'a> {
                 issued: u.issued,
                 completed: u.completed,
             }),
-            unissued: self.unissued,
-            lq_count: self.lq_count,
-            sq_tokens: self.sq_tokens.clone(),
+            unissued: self.iq_tokens.len(),
+            lq_count: self.lq_tokens.len(),
+            sq_tokens: self.sq_tokens.iter().copied().collect(),
             sb_pending: self.sb_drains.len(),
             cursor: self.cursor,
         })
@@ -399,6 +479,16 @@ impl<'a> Core<'a> {
     #[inline]
     fn uop(&self, token: u64) -> &Uop {
         &self.rob[self.rob_index(token)]
+    }
+
+    /// Number of in-flight stores with `lo < token < hi`. The SQ is
+    /// token-sorted, so two binary searches answer the distance counts
+    /// that used to be linear filters.
+    #[inline]
+    fn sq_between(&self, lo: u64, hi: u64) -> u32 {
+        let younger = self.sq_tokens.partition_point(|&t| t < hi);
+        let older = self.sq_tokens.partition_point(|&t| t <= lo);
+        (younger - older) as u32
     }
 
     fn store_done(&self, token: u64) -> bool {
@@ -524,6 +614,7 @@ impl<'a> Core<'a> {
             if self.rat[dst.index()] == Some(u.token) {
                 self.rat[dst.index()] = None;
             }
+            self.reg_writers[dst.index()] -= 1;
         }
 
         match u.class {
@@ -538,15 +629,16 @@ impl<'a> Core<'a> {
                     _ => MemSize::B8,
                 };
                 self.memory_state.write(addr, size, data);
-                debug_assert_eq!(self.sq_tokens.first(), Some(&u.token));
-                self.sq_tokens.remove(0);
+                debug_assert_eq!(self.sq_tokens.front(), Some(&u.token));
+                self.sq_tokens.pop_front();
                 // The store occupies its SQ/SB slot until written to L1D.
                 let done = self.mem.access(AccessKind::Store, u.pc, addr, self.cycle);
                 self.sb_drains.push_back(done);
             }
             ExecClass::Load => {
                 self.stats.committed_loads += 1;
-                self.lq_count -= 1;
+                debug_assert_eq!(self.lq_tokens.front(), Some(&u.token));
+                self.lq_tokens.pop_front();
                 debug_assert_eq!(
                     self.commit_hist.count(),
                     u.div_count,
@@ -558,7 +650,7 @@ impl<'a> Core<'a> {
                 let waited_correct = match &u.wait {
                     WaitSpec::None => false,
                     WaitSpec::One(t) => u.forward_source == Some(*t),
-                    WaitSpec::Many(ts) => u.forward_source.is_some_and(|f| ts.contains(&f)),
+                    WaitSpec::Many(ts) => u.forward_source.is_some_and(|f| ts.as_slice().contains(&f)),
                     WaitSpec::AllOlder => u.forward_source.is_some(),
                 };
                 if u.wait != WaitSpec::None && u.mdp_delayed && !waited_correct {
@@ -637,25 +729,37 @@ impl<'a> Core<'a> {
     // ------------------------------------------------------------------
 
     fn writeback(&mut self) {
-        let mut i = 0;
-        while i < self.rob.len() {
-            if self.rob[i].issued && !self.rob[i].completed && self.rob[i].complete_at <= self.cycle
-            {
-                self.rob[i].completed = true;
-                match self.rob[i].class {
-                    ExecClass::Branch => {
-                        let squashed = self.resolve_branch(i);
-                        if squashed {
-                            // Everything younger is gone; `i` stays valid.
-                            i += 1;
-                            continue;
-                        }
-                    }
-                    ExecClass::Store => self.store_search_lq(i),
-                    _ => {}
-                }
+        // Pop due completions from the min-heap instead of scanning the
+        // ROB. Every op latency is ≥ 1, so a uop issued at cycle `c` is
+        // due strictly after `c` and each live entry surfaces exactly at
+        // its `complete_at` cycle; ties complete in token order — the
+        // same order the old full scan processed them.
+        while let Some(&Reverse((done, token))) = self.completions.peek() {
+            if done > self.cycle {
+                break;
             }
-            i += 1;
+            self.completions.pop();
+            // Squashes leave entries behind, and squashed tokens are
+            // reused by refetch: the entry is stale unless it names a
+            // live, issued, not-yet-completed uop due exactly now.
+            if token < self.rob_head_token {
+                continue;
+            }
+            let i = (token - self.rob_head_token) as usize;
+            let Some(u) = self.rob.get(i) else { continue };
+            if !u.issued || u.completed || u.complete_at != done {
+                continue;
+            }
+            self.rob[i].completed = true;
+            match self.rob[i].class {
+                ExecClass::Branch => {
+                    // On a squash everything younger is gone; their heap
+                    // entries go stale and are skipped above.
+                    let _ = self.resolve_branch(i);
+                }
+                ExecClass::Store => self.store_search_lq(i),
+                _ => {}
+            }
         }
     }
 
@@ -738,9 +842,16 @@ impl<'a> Core<'a> {
 
         self.predictor.store_executed(store_pc, store_token);
 
-        let mut violations: Vec<usize> = Vec::new();
-        for (j, l) in self.rob.iter().enumerate().skip(store_i + 1) {
-            if l.class != ExecClass::Load || !l.issued {
+        // Only loads younger than the store can violate: search the LQ
+        // suffix past the store's token instead of the whole ROB tail.
+        let mut violations = std::mem::take(&mut self.scratch_violations);
+        violations.clear();
+        let start = self.lq_tokens.partition_point(|&t| t < store_token);
+        for qi in start..self.lq_tokens.len() {
+            let ltok = self.lq_tokens[qi];
+            let l = &self.rob[self.rob_index(ltok)];
+            debug_assert_eq!(l.class, ExecClass::Load);
+            if !l.issued {
                 continue;
             }
             let Some(laddr) = l.addr else { continue };
@@ -760,23 +871,20 @@ impl<'a> Core<'a> {
             if l.forward_source == Some(store_token) {
                 continue; // already got this store's data
             }
-            violations.push(j);
+            violations.push(ltok);
         }
 
         let eager = self.cfg.mem_squash == MemSquashPolicy::Eager;
-        for j in violations {
+        for &load_token in &violations {
+            let j = (load_token - self.rob_head_token) as usize;
             if eager && j >= self.rob.len() {
                 break; // an earlier eager squash removed the rest
             }
-            let (load_pc, load_token, load_div, prior) = {
+            let (load_pc, load_div, prior) = {
                 let l = &self.rob[j];
-                (l.pc, l.token, l.div_count, l.prediction)
+                (l.pc, l.div_count, l.prediction)
             };
-            let store_distance = self
-                .sq_tokens
-                .iter()
-                .filter(|&&t| t > store_token && t < load_token)
-                .count() as u32;
+            let store_distance = self.sq_between(store_token, load_token);
             // N: divergent branches between the store and the load. The
             // paper's predictors collect N+1 history entries (the extra
             // one is the divergent branch previous to the store).
@@ -823,6 +931,8 @@ impl<'a> Core<'a> {
                 }
             }
         }
+        violations.clear();
+        self.scratch_violations = violations;
     }
 
     // ------------------------------------------------------------------
@@ -834,7 +944,7 @@ impl<'a> Core<'a> {
         match &u.wait {
             WaitSpec::None => true,
             WaitSpec::One(t) => self.store_done(*t),
-            WaitSpec::Many(ts) => ts.iter().all(|&t| self.store_done(t)),
+            WaitSpec::Many(ts) => ts.as_slice().iter().all(|&t| self.store_done(t)),
             WaitSpec::AllOlder => {
                 let token = u.token;
                 self.sq_tokens.iter().take_while(|&&t| t < token).all(|&t| self.store_done(t))
@@ -869,12 +979,30 @@ impl<'a> Core<'a> {
         let mut store_ports = self.cfg.ports.store;
         let mut branch_ports = self.cfg.ports.branch;
 
-        for i in 0..self.rob.len() {
-            let u = &self.rob[i];
-            if u.issued || self.cycle < u.issue_ready_at {
-                continue;
+        // Walk only the unissued uops, oldest first — the same order the
+        // old full-ROB scan visited them in.
+        let mut qi = 0;
+        while qi < self.iq_tokens.len() {
+            if int_ports == 0
+                && fp_ports == 0
+                && load_ports == 0
+                && store_ports == 0
+                && branch_ports == 0
+            {
+                break; // every port consumed; nothing else can issue
             }
-            let port = match u.class {
+            let token = self.iq_tokens[qi];
+            let i = self.rob_index(token);
+            let u = &self.rob[i];
+            debug_assert!(!u.issued);
+            if self.cycle < u.issue_ready_at {
+                // Front-end readiness is monotone along the age-ordered
+                // queue (fetch order), so nothing younger is ready either.
+                break;
+            }
+            let class = u.class;
+            let (p0, p1) = (u.src_producers[0], u.src_producers[1]);
+            let port = match class {
                 ExecClass::IntAlu | ExecClass::IntMul | ExecClass::IntDiv => &mut int_ports,
                 ExecClass::Fp => &mut fp_ports,
                 ExecClass::Load => &mut load_ports,
@@ -882,29 +1010,24 @@ impl<'a> Core<'a> {
                 ExecClass::Branch => &mut branch_ports,
             };
             if *port == 0 {
+                qi += 1;
                 continue;
             }
-            if !(self.operand_ready(u.src_producers[0]) && self.operand_ready(u.src_producers[1]))
-            {
+            if !(self.operand_ready(p0) && self.operand_ready(p1)) {
+                qi += 1;
                 continue;
             }
             if !self.wait_satisfied(i) {
                 // Operands are ready but the dependence prediction holds
                 // the access back: an MDP-induced delay.
                 self.rob[i].mdp_delayed = true;
+                qi += 1;
                 continue;
             }
-            let port = match self.rob[i].class {
-                ExecClass::IntAlu | ExecClass::IntMul | ExecClass::IntDiv => &mut int_ports,
-                ExecClass::Fp => &mut fp_ports,
-                ExecClass::Load => &mut load_ports,
-                ExecClass::Store => &mut store_ports,
-                ExecClass::Branch => &mut branch_ports,
-            };
             *port -= 1;
             self.execute_at_issue(i);
             self.rob[i].issued = true;
-            self.unissued -= 1;
+            self.iq_tokens.remove(qi); // `qi` now names the next candidate
         }
     }
 
@@ -943,9 +1066,7 @@ impl<'a> Core<'a> {
                 addr = Some(a);
                 forward_source = fsrc;
                 fully_forwarded = full;
-                forward_distance = fsrc.map(|f| {
-                    self.sq_tokens.iter().filter(|&&t| t > f && t < token).count() as u32
-                });
+                forward_distance = fsrc.map(|f| self.sq_between(f, token));
                 let done = self.mem.access(AccessKind::Load, pc, a, self.cycle);
                 let l1d_hit = self.cycle + self.cfg.memory.l1d.hit_latency;
                 complete_at = if full { l1d_hit } else { done };
@@ -1004,6 +1125,11 @@ impl<'a> Core<'a> {
             op => result = compute_value(op, lhs, rhs),
         }
 
+        // The heap-driven writeback depends on completions landing
+        // strictly in the future (see `writeback`).
+        debug_assert!(complete_at > self.cycle, "zero-latency completion");
+        self.completions.push(Reverse((complete_at, token)));
+
         let u = &mut self.rob[i];
         u.result = result;
         u.complete_at = complete_at;
@@ -1028,39 +1154,52 @@ impl<'a> Core<'a> {
     /// older *executed* store in the SQ that wrote it, falling back to
     /// committed memory. Returns `(value, youngest forwarding store,
     /// fully_forwarded)`.
+    ///
+    /// Walks the SQ prefix older than the load from youngest to oldest,
+    /// claiming not-yet-filled bytes as it goes — cost scales with the SQ
+    /// occupancy (not ROB × bytes) and the walk stops as soon as every
+    /// byte is forwarded. Youngest-first claiming picks the same per-byte
+    /// provider the old youngest-token maximum did.
     fn speculative_load(&self, load_token: u64, addr: u64, bytes: u64) -> (u64, Option<u64>, bool) {
+        debug_assert!(bytes <= 8, "loads are at most 8 bytes");
+        let full_mask: u8 = if bytes >= 8 { 0xff } else { (1u8 << bytes) - 1 };
         let mut value = 0u64;
         let mut forward: Option<u64> = None;
-        let mut all_forwarded = true;
-        for b in 0..bytes {
-            let byte_addr = addr.wrapping_add(b);
-            let mut byte: Option<(u64, u8)> = None; // (store token, data)
-            for s in self.rob.iter() {
-                if s.token >= load_token {
-                    break;
-                }
-                if s.class != ExecClass::Store || !s.issued {
+        let mut filled: u8 = 0;
+        let older = self.sq_tokens.partition_point(|&t| t < load_token);
+        for qi in (0..older).rev() {
+            let stok = self.sq_tokens[qi];
+            let s = &self.rob[self.rob_index(stok)];
+            debug_assert_eq!(s.class, ExecClass::Store);
+            if !s.issued {
+                continue;
+            }
+            let Some(saddr) = s.addr else { continue };
+            if !ranges_overlap(addr, bytes, saddr, s.mem_size) {
+                continue;
+            }
+            let data = s.store_data.expect("issued store");
+            for b in 0..bytes {
+                if filled & (1 << b) != 0 {
                     continue;
                 }
-                let Some(saddr) = s.addr else { continue };
+                let byte_addr = addr.wrapping_add(b);
                 if ranges_overlap(byte_addr, 1, saddr, s.mem_size) {
                     let offset = byte_addr.wrapping_sub(saddr);
-                    let data = (s.store_data.expect("issued store") >> (8 * offset)) as u8;
-                    match byte {
-                        Some((t, _)) if t > s.token => {}
-                        _ => byte = Some((s.token, data)),
-                    }
+                    value |= u64::from((data >> (8 * offset)) as u8) << (8 * b);
+                    filled |= 1 << b;
+                    forward = Some(forward.map_or(stok, |f: u64| f.max(stok)));
                 }
             }
-            match byte {
-                Some((t, d)) => {
-                    value |= u64::from(d) << (8 * b);
-                    forward = Some(forward.map_or(t, |f: u64| f.max(t)));
-                }
-                None => {
-                    all_forwarded = false;
-                    value |= u64::from(self.memory_state.read_byte(byte_addr)) << (8 * b);
-                }
+            if filled == full_mask {
+                break;
+            }
+        }
+        let all_forwarded = filled == full_mask;
+        for b in 0..bytes {
+            if filled & (1 << b) == 0 {
+                let byte_addr = addr.wrapping_add(b);
+                value |= u64::from(self.memory_state.read_byte(byte_addr)) << (8 * b);
             }
         }
         (value, forward, all_forwarded && bytes > 0)
@@ -1083,15 +1222,20 @@ impl<'a> Core<'a> {
         if self.halt_fetched || self.cycle < self.fetch_stalled_until {
             return;
         }
+        // Copy the program reference out of `self` so the instruction
+        // borrow is independent of the `&mut self` calls below — this is
+        // what lets `fetch_one` take `&Inst` instead of a clone (an
+        // `IndirectJump`'s boxed target list made that clone allocate).
+        let program = self.program;
         for _ in 0..self.cfg.fetch_width {
             let Some((block, index)) = self.cursor else { return };
-            let inst = self.program.inst(block, index);
+            let inst = program.inst(block, index);
 
             // Structural resources.
-            if self.rob.len() >= self.cfg.rob_size || self.unissued >= self.cfg.iq_size {
+            if self.rob.len() >= self.cfg.rob_size || self.iq_tokens.len() >= self.cfg.iq_size {
                 return;
             }
-            if inst.op.is_load() && self.lq_count >= self.cfg.lq_size {
+            if inst.op.is_load() && self.lq_tokens.len() >= self.cfg.lq_size {
                 return;
             }
             if inst.op.is_store()
@@ -1113,7 +1257,7 @@ impl<'a> Core<'a> {
                 }
             }
 
-            let redirected = self.fetch_one(block, index, inst.clone());
+            let redirected = self.fetch_one(block, index, inst);
             if redirected || self.halt_fetched {
                 return; // taken control flow ends the fetch group
             }
@@ -1122,7 +1266,7 @@ impl<'a> Core<'a> {
 
     /// Fetches, renames and dispatches one instruction. Returns true if
     /// the fetch group must end (taken control transfer).
-    fn fetch_one(&mut self, block: BlockId, index: usize, inst: Inst) -> bool {
+    fn fetch_one(&mut self, block: BlockId, index: usize, inst: &Inst) -> bool {
         let pc = self.program.pc(block, index);
         let token = self.next_token;
         self.next_token += 1;
@@ -1210,7 +1354,7 @@ impl<'a> Core<'a> {
                 }
             }
             wait = self.resolve_wait(prediction.dep);
-            self.lq_count += 1;
+            self.lq_tokens.push_back(token);
         } else if inst.op.is_store() {
             let dep = self
                 .predictor
@@ -1218,11 +1362,11 @@ impl<'a> Core<'a> {
             if let Some(t) = dep {
                 // Guard against stale predictor tokens (reused after a
                 // squash): only wait on a live, older, in-flight store.
-                if t < token && self.sq_tokens.contains(&t) && !self.store_done(t) {
+                if t < token && self.sq_tokens.binary_search(&t).is_ok() && !self.store_done(t) {
                     wait = WaitSpec::One(t);
                 }
             }
-            self.sq_tokens.push(token);
+            self.sq_tokens.push_back(token);
         }
 
         let mem_size = match inst.op {
@@ -1269,8 +1413,11 @@ impl<'a> Core<'a> {
             wait,
             mdp_delayed: false,
         };
+        if let Some(d) = inst.dst {
+            self.reg_writers[d.index()] += 1;
+        }
         self.rob.push_back(uop);
-        self.unissued += 1;
+        self.iq_tokens.push_back(token);
         self.cursor = predicted_next;
 
         predicted_next != seq_next
@@ -1291,20 +1438,24 @@ impl<'a> Core<'a> {
                 _ => WaitSpec::None,
             },
             DepPrediction::StoreToken(t) => {
-                if t >= self.rob_head_token && self.sq_tokens.contains(&t) && !self.store_done(t) {
+                if t >= self.rob_head_token
+                    && self.sq_tokens.binary_search(&t).is_ok()
+                    && !self.store_done(t)
+                {
                     WaitSpec::One(t)
                 } else {
                     WaitSpec::None
                 }
             }
             DepPrediction::DistanceMask(mask) => {
-                let mut ts = Vec::new();
-                for d in 0..128u32 {
-                    if mask & (1u128 << d) != 0 {
-                        if let Some(t) = by_distance(d) {
-                            if !self.store_done(t) {
-                                ts.push(t);
-                            }
+                let mut ts = TokenList::new();
+                let mut rest = mask;
+                while rest != 0 {
+                    let d = rest.trailing_zeros();
+                    rest &= rest - 1;
+                    if let Some(t) = by_distance(d) {
+                        if !self.store_done(t) {
+                            ts.push(t);
                         }
                     }
                 }
@@ -1335,9 +1486,20 @@ impl<'a> Core<'a> {
     /// a failure means the pipeline state is already corrupt even if no
     /// committed value has diverged yet.
     fn audit_invariants(&self) -> Result<(), String> {
-        // ROB tokens are dense and ascending from the head (token - head
-        // indexes the ROB; `rob_index` and `store_done` depend on this).
+        // One pass over the ROB recounts, from scratch, everything the
+        // incremental scoreboards claim — the O(1) structures the hot
+        // path trusts inherit the integrity layer by being recomputed
+        // and compared here.
+        let mut unissued: Vec<u64> = Vec::new();
+        let mut loads: Vec<u64> = Vec::new();
+        let mut stores: Vec<u64> = Vec::new();
+        let mut writers = [0u32; NUM_REGS];
+        let mut youngest_writer: [Option<u64>; NUM_REGS] = [None; NUM_REGS];
+        let mut last_ready = 0u64;
         for (i, u) in self.rob.iter().enumerate() {
+            // ROB tokens are dense and ascending from the head (token -
+            // head indexes the ROB; `rob_index` and `store_done` depend
+            // on this).
             let expect = self.rob_head_token + i as u64;
             if u.token != expect {
                 return Err(format!(
@@ -1345,38 +1507,76 @@ impl<'a> Core<'a> {
                     u.token
                 ));
             }
+            // Front-end readiness is monotone in age — the issue loop's
+            // early exit is sound only if this holds.
+            if u.issue_ready_at < last_ready {
+                return Err(format!(
+                    "issue_ready_at not monotone: token {} ready at {} after {}",
+                    u.token, u.issue_ready_at, last_ready
+                ));
+            }
+            last_ready = u.issue_ready_at;
+            if !u.issued {
+                unissued.push(u.token);
+            }
+            match u.class {
+                ExecClass::Load => loads.push(u.token),
+                ExecClass::Store => stores.push(u.token),
+                _ => {}
+            }
+            if let Some(d) = u.dst {
+                writers[d.index()] += 1;
+                youngest_writer[d.index()] = Some(u.token);
+            }
+            // Every in-flight completion is represented in the heap
+            // (otherwise the uop would never write back).
+            if u.issued
+                && !u.completed
+                && !self.completions.iter().any(|&Reverse(e)| e == (u.complete_at, u.token))
+            {
+                return Err(format!(
+                    "issued token {} (complete_at {}) missing from the completion heap",
+                    u.token, u.complete_at
+                ));
+            }
         }
-        // Derived occupancy counters match the ROB contents.
-        let unissued = self.rob.iter().filter(|u| !u.issued).count();
-        if unissued != self.unissued {
+        // The scoreboards are exactly the recounted ROB subsequences.
+        if !self.iq_tokens.iter().eq(unissued.iter()) {
             return Err(format!(
-                "unissued counter {} != {} unissued uops in ROB",
-                self.unissued, unissued
+                "IQ {:?} != unissued uops {:?} in ROB order",
+                self.iq_tokens, unissued
             ));
         }
-        let loads = self.rob.iter().filter(|u| u.class == ExecClass::Load).count();
-        if loads != self.lq_count {
-            return Err(format!("lq_count {} != {} loads in ROB", self.lq_count, loads));
+        if !self.lq_tokens.iter().eq(loads.iter()) {
+            return Err(format!(
+                "LQ {:?} != in-flight loads {:?} in ROB order",
+                self.lq_tokens, loads
+            ));
         }
-        // The SQ is exactly the in-flight stores in age order (so every SQ
-        // token is a live ROB token, and ages are strictly ascending).
-        let stores: Vec<u64> =
-            self.rob.iter().filter(|u| u.class == ExecClass::Store).map(|u| u.token).collect();
-        if stores != self.sq_tokens {
+        if !self.sq_tokens.iter().eq(stores.iter()) {
             return Err(format!(
                 "SQ {:?} != in-flight stores {:?} in ROB order",
                 self.sq_tokens, stores
+            ));
+        }
+        if self.reg_writers != writers {
+            let r = (0..NUM_REGS)
+                .find(|&r| self.reg_writers[r] != writers[r])
+                .expect("some register differs");
+            return Err(format!(
+                "reg_writers[r{r}] = {} but {} uops in the ROB write r{r}",
+                self.reg_writers[r], writers[r]
             ));
         }
         // Structural capacities hold.
         if self.rob.len() > self.cfg.rob_size {
             return Err(format!("ROB over capacity: {} > {}", self.rob.len(), self.cfg.rob_size));
         }
-        if self.unissued > self.cfg.iq_size {
-            return Err(format!("IQ over capacity: {} > {}", self.unissued, self.cfg.iq_size));
+        if self.iq_tokens.len() > self.cfg.iq_size {
+            return Err(format!("IQ over capacity: {} > {}", self.iq_tokens.len(), self.cfg.iq_size));
         }
-        if self.lq_count > self.cfg.lq_size {
-            return Err(format!("LQ over capacity: {} > {}", self.lq_count, self.cfg.lq_size));
+        if self.lq_tokens.len() > self.cfg.lq_size {
+            return Err(format!("LQ over capacity: {} > {}", self.lq_tokens.len(), self.cfg.lq_size));
         }
         if self.sq_tokens.len() + self.sb_drains.len() > self.cfg.sq_size {
             return Err(format!(
@@ -1391,15 +1591,12 @@ impl<'a> Core<'a> {
         // since committed — rename reads that as architectural state, so
         // it is legal, but then no in-flight writer may exist (a younger
         // surviving rename would own the entry).
-        for r in 0..NUM_REGS {
-            let Some(t) = self.rat[r] else { continue };
+        for (r, &rat_entry) in self.rat.iter().enumerate() {
+            let Some(t) = rat_entry else { continue };
             if t < self.rob_head_token {
-                if let Some(w) =
-                    self.rob.iter().find(|y| y.dst.map(|d| d.index()) == Some(r))
-                {
+                if let Some(w) = youngest_writer[r] {
                     return Err(format!(
-                        "RAT[r{r}] names committed token {t} but token {} writes r{r} in flight",
-                        w.token
+                        "RAT[r{r}] names committed token {t} but token {w} writes r{r} in flight"
                     ));
                 }
                 continue;
@@ -1414,12 +1611,10 @@ impl<'a> Core<'a> {
                     u.dst
                 ));
             }
-            if let Some(younger) =
-                self.rob.iter().skip(idx + 1).find(|y| y.dst.map(|d| d.index()) == Some(r))
-            {
+            if youngest_writer[r] != Some(t) {
                 return Err(format!(
-                    "RAT[r{r}] names token {t} but token {} also writes r{r}",
-                    younger.token
+                    "RAT[r{r}] names token {t} but token {:?} is the youngest writer of r{r}",
+                    youngest_writer[r]
                 ));
             }
         }
@@ -1446,16 +1641,19 @@ impl<'a> Core<'a> {
             let u = self.rob.pop_back().expect("non-empty");
             if let Some(d) = u.dst {
                 self.rat[d.index()] = u.prev_rat;
+                self.reg_writers[d.index()] -= 1;
             }
             self.stats.squashed_uops += 1;
         }
         // Tokens index the ROB (token - head == position), so the next
         // token restarts at the squash boundary to keep the range dense.
         self.next_token = boundary.max(self.rob_head_token);
-        // Derived occupancy counters.
-        self.unissued = self.rob.iter().filter(|u| !u.issued).count();
-        self.lq_count = self.rob.iter().filter(|u| u.class == ExecClass::Load).count();
-        self.sq_tokens.retain(|&t| t < boundary);
+        // The scoreboards are token-sorted, so the squashed tokens are
+        // exactly their suffixes. (Stale completion-heap entries are
+        // detected at pop time instead — see `writeback`.)
+        truncate_from(&mut self.iq_tokens, boundary);
+        truncate_from(&mut self.lq_tokens, boundary);
+        truncate_from(&mut self.sq_tokens, boundary);
         self.halt_fetched = false;
 
         match redirect {
@@ -1469,4 +1667,10 @@ impl<'a> Core<'a> {
             }
         }
     }
+}
+
+/// Drops every token `>= boundary` from a token-sorted queue.
+fn truncate_from(q: &mut VecDeque<u64>, boundary: u64) {
+    let keep = q.partition_point(|&t| t < boundary);
+    q.truncate(keep);
 }

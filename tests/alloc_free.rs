@@ -1,0 +1,100 @@
+//! Proves the steady-state cycle loop is allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! warms a core up (first touches of memory pages, cache MSHR maps,
+//! predictor tables and scoreboard buffers all reach steady capacity),
+//! then resumes the same core for a measured window and requires **zero**
+//! heap allocations during it. Any future change that reintroduces a
+//! per-cycle or per-instruction allocation — a `Vec` collected per probe,
+//! a cloned instruction on fetch, a per-event boxed wait list — fails
+//! here with an exact count instead of only showing up as a slow sweep.
+//!
+//! This file must hold exactly one `#[test]`: the libtest runner executes
+//! tests of one binary concurrently, and a neighbour's allocations would
+//! leak into the measured window.
+
+use phast_mdp::BlindSpeculation;
+use phast_ooo::{CheckConfig, Core, CoreConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+#[cfg(debug_assertions)]
+static TRAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        #[cfg(debug_assertions)]
+        if TRAP.load(Ordering::Relaxed) {
+            TRAP.store(false, Ordering::Relaxed);
+            panic!("alloc of {} bytes in measured window", layout.size());
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growing `Vec` reallocates rather than allocating; count it the
+        // same — capacity growth inside the measured window is still a
+        // heap round-trip on the hot path.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// lbm streams one 8-byte slot per outer iteration over a 4096-slot
+// buffer, so the sparse-memory map keeps growing until a full pass has
+// touched all 512 lines — roughly 4096 iterations × ~20 instructions.
+// The warmup must cover at least one full pass; after that the footprint
+// (memory map, cache MSHRs, scoreboards, predictor state) is closed.
+const WARMUP_INSTS: u64 = 120_000;
+const MEASURED_INSTS: u64 = 20_000;
+const MAX_CYCLES: u64 = 10_000_000;
+
+#[test]
+fn steady_state_cycle_loop_does_not_allocate() {
+    let w = phast_workloads::by_name("lbm").expect("workload exists");
+    let program = w.build(100_000);
+    let mut cfg = CoreConfig::alder_lake();
+    // The integrity layer is off on the perf path (golden_stats pins that
+    // timing); the lockstep emulator would allocate for its own state.
+    cfg.check = CheckConfig::off();
+    let mut predictor = BlindSpeculation;
+    let direction = Box::new(phast_branch::Tage::new(phast_branch::TageConfig::default()));
+    let mut core = Core::new(&program, cfg, &mut predictor, direction);
+
+    let warm = core.try_run(WARMUP_INSTS, MAX_CYCLES).expect("warmup runs clean");
+    assert!(warm.committed >= WARMUP_INSTS, "warmup must commit its budget");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    #[cfg(debug_assertions)]
+    TRAP.store(true, Ordering::SeqCst);
+    let stats = core
+        .try_run(WARMUP_INSTS + MEASURED_INSTS, MAX_CYCLES)
+        .expect("measured window runs clean");
+    // Disarm before returning control to libtest: the harness itself
+    // allocates to report the finished test, and a trap firing there
+    // kills the test thread mid-send and hangs the runner.
+    #[cfg(debug_assertions)]
+    TRAP.store(false, Ordering::SeqCst);
+    let during = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    assert!(
+        stats.committed >= WARMUP_INSTS + MEASURED_INSTS,
+        "measured window must commit its budget (committed {})",
+        stats.committed
+    );
+    assert_eq!(
+        during, 0,
+        "steady-state commit loop allocated {during} times over {MEASURED_INSTS} instructions"
+    );
+}

@@ -68,7 +68,7 @@ fn every_baseline_cuts_violations_versus_blind() {
         (Box::new(Phast::new(PhastConfig::paper())), TrainPoint::Commit),
     ];
     for (mut pred, train) in preds {
-        let name = pred.name();
+        let name = pred.name().to_owned();
         let s = run(&p, pred.as_mut(), train);
         assert!(
             s.violations * 10 < blind.violations,

@@ -28,7 +28,7 @@ fn every_workload_commits_the_budget_under_every_predictor_class() {
             (Box::new(NoSqPredictor::new(NoSqConfig::paper())), TrainPoint::Detect),
         ] {
             let mut pred = pred;
-            let name = pred.name();
+            let name = pred.name().to_owned();
             let s = run(w.name, pred.as_mut(), train);
             assert!(
                 s.committed >= INSTS,
