@@ -62,7 +62,7 @@ impl LastTargetPredictor {
 /// when a return is fetched. Squash recovery restores the top-of-stack
 /// pointer from a checkpoint; entries below the restored top survive, which
 /// matches hardware RAS behaviour (and its occasional corruption).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReturnAddressStack {
     stack: Vec<BlockId>,
     top: usize,
@@ -108,6 +108,25 @@ impl ReturnAddressStack {
     /// Restores the pointer from a checkpoint.
     pub fn restore(&mut self, cp: RasCheckpoint) {
         self.top = cp.0;
+    }
+
+    /// Raw contents for serialization: `(entries, top)`. `entries` is the
+    /// full circular buffer (capacity slots). Together with
+    /// [`from_raw_parts`](Self::from_raw_parts) this round-trips the stack
+    /// bit-identically (checkpointing in `phast-sample`).
+    pub fn raw_parts(&self) -> (&[BlockId], usize) {
+        (&self.stack, self.top)
+    }
+
+    /// Reconstructs a RAS from parts captured by
+    /// [`raw_parts`](Self::raw_parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn from_raw_parts(entries: &[BlockId], top: usize) -> ReturnAddressStack {
+        assert!(!entries.is_empty(), "RAS must have at least one slot");
+        ReturnAddressStack { stack: entries.to_vec(), top }
     }
 }
 

@@ -123,6 +123,54 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Sampling metadata for a run whose statistics were *estimated* from
+/// detailed windows (see `phast-sample` and `docs/SAMPLING.md`) rather
+/// than measured over the whole horizon. `None` on a [`RunRecord`] means
+/// the run was full-detail.
+#[derive(Clone, Debug)]
+pub struct SamplingMeta {
+    /// Detailed windows that produced a measurement.
+    pub windows: usize,
+    /// Instructions measured cycle-accurately per window.
+    pub window_insts: u64,
+    /// Instructions of microarchitectural warming per window.
+    pub warm_insts: u64,
+    /// Total instructions measured cycle-accurately.
+    pub measured_insts: u64,
+    /// Total instructions spent in warm phases.
+    pub warmed_insts: u64,
+    /// Instructions covered only by functional fast-forward.
+    pub fast_forwarded_insts: u64,
+    /// The instruction horizon the sample represents.
+    pub horizon: u64,
+    /// Half-width of the 95% confidence interval on the per-window IPC
+    /// mean.
+    pub ipc_ci_half: f64,
+    /// Full-detail IPC of the same (workload, predictor) pair, when a
+    /// validation pass measured it.
+    pub full_ipc: Option<f64>,
+    /// `|sampled IPC − full IPC|`, when a validation pass measured it.
+    pub ipc_error: Option<f64>,
+}
+
+impl SamplingMeta {
+    fn to_json(&self) -> JsonValue {
+        let opt = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Float);
+        JsonValue::obj(vec![
+            ("windows", JsonValue::UInt(self.windows as u64)),
+            ("window_insts", JsonValue::UInt(self.window_insts)),
+            ("warm_insts", JsonValue::UInt(self.warm_insts)),
+            ("measured_insts", JsonValue::UInt(self.measured_insts)),
+            ("warmed_insts", JsonValue::UInt(self.warmed_insts)),
+            ("fast_forwarded_insts", JsonValue::UInt(self.fast_forwarded_insts)),
+            ("horizon", JsonValue::UInt(self.horizon)),
+            ("ipc_ci_half", JsonValue::Float(self.ipc_ci_half)),
+            ("full_ipc", opt(self.full_ipc)),
+            ("ipc_error", opt(self.ipc_error)),
+        ])
+    }
+}
+
 /// One row of the sweep's run log: everything the perf trajectory needs
 /// about a single (workload, predictor) simulation.
 #[derive(Clone, Debug)]
@@ -151,6 +199,9 @@ pub struct RunRecord {
     pub mips: f64,
     /// The degradation message if the run failed, `None` if it ran clean.
     pub degraded: Option<String>,
+    /// Sampling metadata when this run was estimated from detailed
+    /// windows; `None` for a full-detail run.
+    pub sampling: Option<SamplingMeta>,
 }
 
 impl RunRecord {
@@ -170,6 +221,13 @@ impl RunRecord {
                 "degraded",
                 match &self.degraded {
                     Some(msg) => JsonValue::Str(msg.clone()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "sampling",
+                match &self.sampling {
+                    Some(meta) => meta.to_json(),
                     None => JsonValue::Null,
                 },
             ),
@@ -293,7 +351,32 @@ mod tests {
             wall_s: 0.125,
             mips: 3250.0 / 0.125 / 1e6,
             degraded: None,
+            sampling: None,
         }
+    }
+
+    #[test]
+    fn sampling_metadata_serializes_when_present() {
+        let mut r = record("mcf");
+        r.sampling = Some(SamplingMeta {
+            windows: 8,
+            window_insts: 1_000,
+            warm_insts: 2_000,
+            measured_insts: 8_000,
+            warmed_insts: 16_000,
+            fast_forwarded_insts: 276_000,
+            horizon: 300_000,
+            ipc_ci_half: 0.04,
+            full_ipc: Some(3.2),
+            ipc_error: Some(0.05),
+        });
+        let s = r.to_json().render();
+        for needle in
+            ["\"windows\": 8", "\"fast_forwarded_insts\": 276000", "\"full_ipc\": 3.2"]
+        {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+        assert!(record("mcf").to_json().render().contains("\"sampling\": null"));
     }
 
     #[test]

@@ -17,12 +17,12 @@
 //! the current directory or `--json-dir`.
 
 use phast_experiments::figures;
-use phast_experiments::{Budget, Sweep};
+use phast_experiments::{pool, Budget, PredictorKind, SampleConfig, Sweep};
 use std::path::PathBuf;
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "table1", "table2", "ablations",
+    "fig14", "fig15", "fig16", "table1", "table2", "ablations", "sampled",
 ];
 
 fn run_experiment(id: &str, sweep: &Sweep, budget: &Budget) -> Option<String> {
@@ -43,6 +43,7 @@ fn run_experiment(id: &str, sweep: &Sweep, budget: &Budget) -> Option<String> {
         "table1" => figures::table1::run(sweep, budget),
         "table2" => figures::table2::run(sweep, budget),
         "ablations" => phast_experiments::ablations::run(sweep, budget),
+        "sampled" => figures::sampled::run(sweep, budget).report,
         _ => return None,
     };
     Some(out)
@@ -50,28 +51,105 @@ fn run_experiment(id: &str, sweep: &Sweep, budget: &Budget) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: phast-experiments [--quick] [--serial | --workers=N] \
-         [--json-dir=DIR | --no-json] <experiment>..."
+        "usage: phast-experiments [--quick] [--sampled] [--windows=N] [--warm=M] \
+         [--serial | --workers=N] [--json-dir=DIR | --no-json] <experiment>..."
     );
+    eprintln!("       phast-experiments --list-workloads | --list-predictors");
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
     std::process::exit(2);
 }
 
+/// Parses the value of a `--flag=N` unsigned-integer option, exiting with
+/// a clear error (status 2) on anything that is not a positive integer.
+fn parse_count(flag: &str, raw: &str) -> u64 {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("error: {flag} expects a positive integer, got '{raw}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn list_workloads() {
+    for w in phast_workloads::all_workloads() {
+        println!("{:<12} {}", w.name, w.description);
+    }
+}
+
+fn list_predictors() {
+    let catalog: &[(PredictorKind, &str)] = &[
+        (PredictorKind::Ideal, "perfect oracle (upper bound for every figure)"),
+        (PredictorKind::Blind, "no prediction: every load speculates"),
+        (PredictorKind::TotalOrder, "every load waits for all older stores"),
+        (PredictorKind::Phast, "PHAST at the paper's 14.5 KB configuration"),
+        (PredictorKind::PhastSets(64), "PHAST scaled to N sets per table (--: fig13 sweep)"),
+        (PredictorKind::UnlimitedPhast(None), "UnlimitedPHAST (optionally history-capped)"),
+        (PredictorKind::NoSq, "NoSQ at the paper's 19 KB configuration"),
+        (PredictorKind::NoSqSets(256), "NoSQ scaled to N sets per table"),
+        (PredictorKind::UnlimitedNoSq(8), "UnlimitedNoSQ at a fixed history length"),
+        (PredictorKind::StoreSets, "Store Sets at the paper's 18.5 KB configuration"),
+        (PredictorKind::StoreSetsSized(4096, 2048), "Store Sets with explicit SSIT/LFST sizes"),
+        (PredictorKind::StoreVector, "Store Vectors"),
+        (PredictorKind::Cht, "CHT collision predictor"),
+        (PredictorKind::MdpTage, "MDP-TAGE at the paper's 38.625 KB configuration"),
+        (PredictorKind::MdpTageScaled(1, 2), "MDP-TAGE with set counts scaled by num/den"),
+        (PredictorKind::MdpTageS, "MDP-TAGE-S (PHAST table layout, 13 KB)"),
+        (PredictorKind::UnlimitedMdpTage, "UnlimitedMDPTAGE"),
+    ];
+    for (kind, desc) in catalog {
+        println!("{:<20} {desc}", kind.label());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-workloads") {
+        list_workloads();
+        return;
+    }
+    if args.iter().any(|a| a == "--list-predictors") {
+        list_predictors();
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
+    let sampled = args.iter().any(|a| a == "--sampled");
     let no_json = args.iter().any(|a| a == "--no-json");
     let serial = args.iter().any(|a| a == "--serial");
-    let workers: Option<usize> = args
-        .iter()
-        .find_map(|a| a.strip_prefix("--workers="))
-        .map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let workers: Option<usize> = args.iter().find_map(|a| a.strip_prefix("--workers=")).map(|v| {
+        pool::parse_workers(v).unwrap_or_else(|e| {
+            eprintln!("error: --workers: {e}");
+            std::process::exit(2);
+        })
+    });
+    let windows: Option<u64> =
+        args.iter().find_map(|a| a.strip_prefix("--windows=")).map(|v| parse_count("--windows", v));
+    let warm: Option<u64> =
+        args.iter().find_map(|a| a.strip_prefix("--warm=")).map(|v| parse_count("--warm", v));
     let json_dir: PathBuf = args
         .iter()
         .find_map(|a| a.strip_prefix("--json-dir="))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let budget = if quick { Budget::quick() } else { Budget::full() };
+    // --sampled raises the horizon to the sampled tier; --quick keeps the
+    // quick grid (the combination is what the CI validation step runs).
+    let budget = if quick {
+        Budget::quick()
+    } else if sampled {
+        Budget::sampled()
+    } else {
+        Budget::full()
+    };
+    let sampling: Option<SampleConfig> = (sampled || windows.is_some() || warm.is_some()).then(|| {
+        let mut scfg = budget.default_sampling();
+        if let Some(n) = windows {
+            scfg.windows = n as usize;
+        }
+        if let Some(m) = warm {
+            scfg.warm_insts = m;
+        }
+        scfg
+    });
     let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     if ids.is_empty() {
@@ -80,8 +158,10 @@ fn main() {
 
     let selected: Vec<&str> = if ids == ["all"] {
         let mut v = EXPERIMENTS.to_vec();
-        // fig7/8/9 share a runner; keep one instance.
-        v.retain(|e| *e != "fig8" && *e != "fig9");
+        // fig7/8/9 share a runner; keep one instance. The sampled-vs-full
+        // validation runs its own full-detail reference grid, so it is
+        // opt-in rather than part of "all".
+        v.retain(|e| *e != "fig8" && *e != "fig9" && *e != "sampled");
         v
     } else {
         ids
@@ -92,11 +172,17 @@ fn main() {
         // One sweep per experiment: its degraded-run registry and run log
         // are scoped to the experiment, so each BENCH_<id>.json describes
         // exactly the runs that produced this report.
-        let sweep = if serial {
+        let mut sweep = if serial {
             Sweep::serial()
         } else {
             workers.map_or_else(Sweep::parallel, Sweep::with_workers)
         };
+        // The validation experiment reads the sampling config off the
+        // sweep but runs its full-detail reference through simulate_run
+        // directly, so setting sampled mode here is safe for every id.
+        if let Some(scfg) = sampling {
+            sweep = sweep.with_sampling(scfg);
+        }
         let start = std::time::Instant::now();
         match run_experiment(id, &sweep, &budget) {
             Some(out) => {

@@ -593,6 +593,147 @@ pub mod table2 {
     }
 }
 
+/// Sampled-versus-full validation: estimates every cell of a (workload ×
+/// predictor) grid with the sampling engine, simulates the same cells in
+/// full detail, and checks each sampled IPC against the documented error
+/// bound (`docs/SAMPLING.md`). A cell outside its bound is flagged on the
+/// sweep's degraded registry, so the binary — and the CI step that runs
+/// `--quick sampled` — exits non-zero on an accuracy regression.
+pub mod sampled {
+    use super::*;
+    use crate::harness::simulate_run;
+    use phast_sample::ipc_error_bound;
+    use std::time::Instant;
+
+    /// Structured result for tests.
+    pub struct Results {
+        /// Per-cell (workload, predictor, full IPC, sampled IPC, |error|,
+        /// bound) in grid order.
+        pub cells: Vec<(String, String, f64, f64, f64, f64)>,
+        /// Cells whose error exceeded the bound.
+        pub violations: usize,
+        /// Wall-clock speedup of the sampled grid over the full grid.
+        pub speedup: f64,
+        /// Rendered report.
+        pub report: String,
+    }
+
+    /// Runs the validation grid.
+    ///
+    /// The validation horizon is 25× the tier's detailed-instruction
+    /// budget: sampling exists for horizons where the detailed windows
+    /// are a small fraction of the run, and the full-detail reference
+    /// covers the *same* horizon, so both the accuracy check and the
+    /// recorded speedup are honest like-for-like comparisons.
+    pub fn run(sweep: &Sweep, budget: &Budget) -> Results {
+        let scfg = sweep.sampling().unwrap_or_else(|| budget.default_sampling());
+        let cfg = CoreConfig::alder_lake();
+        let kinds = [PredictorKind::StoreSets, PredictorKind::Phast];
+        let vbudget =
+            Budget { insts: budget.insts.saturating_mul(25), ..budget.clone() };
+        let workloads = vbudget.workloads();
+        assert!(workloads.len() >= 4, "validation needs at least 4 workloads");
+        let cells: Vec<(usize, usize)> = (0..kinds.len())
+            .flat_map(|k| (0..workloads.len()).map(move |w| (k, w)))
+            .collect();
+
+        // Full-detail reference grid (bypasses the sweep's sampling mode
+        // on purpose — this *is* the reference).
+        let t0 = Instant::now();
+        let full: Vec<RunResult> = sweep.map(&cells, |_, &(k, w)| {
+            let program = workloads[w].build(vbudget.workload_iters);
+            let mut c = cfg.clone();
+            c.train_point = kinds[k].train_point();
+            let mut pred = kinds[k].build(&program, vbudget.insts);
+            simulate_run(
+                workloads[w].name,
+                &kinds[k].label(),
+                &program,
+                &c,
+                pred.as_mut(),
+                vbudget.insts,
+            )
+        });
+        let full_wall = t0.elapsed();
+
+        // Sampled estimates of the same grid: capture once per workload,
+        // windows fanned across the pool.
+        let t1 = Instant::now();
+        let mut sampled: Vec<RunResult> =
+            sweep.sampled_grid(&kinds, &cfg, &vbudget, scfg).into_iter().flatten().collect();
+        let sampled_wall = t1.elapsed();
+
+        let mut t = TextTable::new(vec![
+            "workload",
+            "predictor",
+            "full IPC",
+            "sampled IPC",
+            "|error|",
+            "bound",
+            "verdict",
+        ]);
+        let mut out_cells = Vec::with_capacity(cells.len());
+        let mut violations = 0usize;
+        for (f, s) in full.iter().zip(sampled.iter_mut()) {
+            let full_ipc = f.stats.ipc();
+            let sampled_ipc = s.stats.ipc();
+            let err = (sampled_ipc - full_ipc).abs();
+            let meta = s.sampling.as_mut().expect("sampled run carries metadata");
+            let bound = ipc_error_bound(full_ipc, meta.ipc_ci_half);
+            meta.full_ipc = Some(full_ipc);
+            meta.ipc_error = Some(err);
+            let ok = err <= bound;
+            if !ok {
+                violations += 1;
+                sweep.flag_degraded(format!(
+                    "{} × {}: sampled IPC {sampled_ipc:.4} vs full {full_ipc:.4} — \
+                     error {err:.4} exceeds bound {bound:.4}",
+                    s.workload, s.predictor
+                ));
+            }
+            t.row(vec![
+                s.workload.clone(),
+                s.predictor.clone(),
+                format!("{full_ipc:.4}"),
+                format!("{sampled_ipc:.4}"),
+                format!("{err:.4}"),
+                format!("{bound:.4}"),
+                if ok { "ok".into() } else { "VIOLATION".into() },
+            ]);
+            out_cells.push((s.workload.clone(), s.predictor.clone(), full_ipc, sampled_ipc, err, bound));
+        }
+        // Sampled rows (now annotated with full_ipc/ipc_error) first,
+        // then the full-detail reference rows, into BENCH_sampled.json.
+        sweep.record_all(&sampled);
+        sweep.record_all(&full);
+
+        let speedup = full_wall.as_secs_f64() / sampled_wall.as_secs_f64().max(1e-9);
+        let detailed: u64 = sampled
+            .iter()
+            .filter_map(|s| s.sampling.as_ref())
+            .map(|m| m.measured_insts + m.warmed_insts)
+            .sum();
+        let report = format!(
+            "Sampled-vs-full validation ({} insts horizon; {} windows × {} insts, {} warm; \
+             see docs/SAMPLING.md)\n\n{t}\n\
+             violations: {violations} of {}\n\
+             wall-clock: full {:.2}s, sampled {:.2}s — speedup {speedup:.1}x\n\
+             measured+warm instructions: full {}, sampled {} ({:.1}x fewer)\n",
+            vbudget.insts,
+            scfg.windows,
+            scfg.window_insts,
+            scfg.warm_insts,
+            cells.len(),
+            full_wall.as_secs_f64(),
+            sampled_wall.as_secs_f64(),
+            vbudget.insts * cells.len() as u64,
+            detailed,
+            (vbudget.insts * cells.len() as u64) as f64 / detailed.max(1) as f64,
+        );
+        Results { cells: out_cells, violations, speedup, report }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,6 +757,21 @@ mod tests {
     fn fig4_runs_on_tiny_budget() {
         let out = fig4::run(&Sweep::parallel(), &tiny_budget());
         assert!(out.contains("perlbench_1"));
+    }
+
+    #[test]
+    fn sampled_validation_runs_on_small_budget() {
+        let b = Budget { insts: 8_000, workload_iters: 50_000, max_workloads: Some(4) };
+        let sweep =
+            Sweep::parallel().with_sampling(phast_sample::SampleConfig::new(4, 800, 500));
+        let r = sampled::run(&sweep, &b);
+        assert_eq!(r.cells.len(), 8, "4 workloads × 2 predictors");
+        assert!(r.report.contains("violations"));
+        for (w, p, full, est, err, bound) in &r.cells {
+            assert!(*full > 0.0 && *est > 0.0, "{w} × {p}");
+            assert!((err - (est - full).abs()).abs() < 1e-12);
+            assert!(*bound >= 0.05);
+        }
     }
 
     #[test]

@@ -22,12 +22,15 @@
 //! `phast-experiments` binary), [`Budget::quick`] (smoke tests and CI),
 //! and [`Budget::bench`] (the Criterion benches in `phast-bench`).
 
-use crate::artifact::{git_describe, RunRecord, SweepArtifact};
+use crate::artifact::{git_describe, RunRecord, SamplingMeta, SweepArtifact};
 use crate::pool;
 use crate::predictors::PredictorKind;
 use phast_isa::Program;
 use phast_mdp::MemDepPredictor;
 use phast_ooo::{try_simulate, CoreConfig, SimError, SimStats};
+use phast_sample::{
+    capture, estimate, run_window, sum_window_stats, CheckpointSet, SampleConfig, WindowRun,
+};
 use phast_workloads::Workload;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -62,6 +65,26 @@ impl Budget {
         Budget { insts: 10_000, workload_iters: 60_000, max_workloads: Some(2) }
     }
 
+    /// The sampled tier: a much longer horizon than [`Budget::full`],
+    /// affordable because a sweep with [`Sweep::with_sampling`] measures
+    /// only the detailed windows cycle-accurately and covers the rest
+    /// with functional fast-forward (see `phast-sample` and
+    /// `docs/SAMPLING.md`).
+    pub fn sampled() -> Budget {
+        Budget { insts: 2_000_000, workload_iters: 10_000_000, max_workloads: None }
+    }
+
+    /// The sampling parameters matched to this budget's horizon: enough
+    /// windows for a tight confidence interval at [`Budget::sampled`]
+    /// scale, the `phast-sample` defaults below [`Budget::full`] scale.
+    pub fn default_sampling(&self) -> SampleConfig {
+        if self.insts > Budget::full().insts {
+            SampleConfig::new(16, 4_000, 2_000)
+        } else {
+            SampleConfig::default()
+        }
+    }
+
     /// The workloads this budget covers.
     pub fn workloads(&self) -> Vec<Workload> {
         let mut all = phast_workloads::all_workloads();
@@ -87,6 +110,9 @@ pub struct RunResult {
     pub failure: Option<SimError>,
     /// Host wall-clock time the simulation took.
     pub wall: Duration,
+    /// Sampling metadata when the statistics were estimated from detailed
+    /// windows (`None` for a full-detail run).
+    pub sampling: Option<SamplingMeta>,
 }
 
 impl RunResult {
@@ -117,6 +143,7 @@ impl RunResult {
                 if wall_s > 0.0 { self.stats.committed as f64 / wall_s / 1e6 } else { 0.0 }
             },
             degraded: self.degraded_entry(),
+            sampling: self.sampling.clone(),
         }
     }
 }
@@ -148,6 +175,7 @@ pub fn simulate_run(
         num_paths: predictor.num_paths(),
         failure,
         wall: start.elapsed(),
+        sampling: None,
     }
 }
 
@@ -166,6 +194,72 @@ fn execute_one(
     simulate_run(workload.name, &kind.label(), &program, &core_cfg, predictor.as_mut(), budget.insts)
 }
 
+/// Assembles the per-window runs of one (workload, predictor) cell into a
+/// [`RunResult`]: statistics are the window sums (so the cell's IPC is
+/// the ratio-of-sums estimate), `sampling` carries the estimate metadata,
+/// and the first window failure (if any) degrades the cell.
+fn assemble_sampled(
+    workload: &str,
+    label: &str,
+    set: &CheckpointSet,
+    windows: Vec<(WindowRun, u64, Duration)>,
+    capture_wall: Duration,
+) -> RunResult {
+    let num_paths = windows.iter().map(|(_, p, _)| *p).max().unwrap_or(0);
+    let wall = capture_wall + windows.iter().map(|(_, _, d)| *d).sum::<Duration>();
+    let runs: Vec<WindowRun> = windows.into_iter().map(|(r, _, _)| r).collect();
+    let failure = runs.iter().find_map(|r| r.failure.clone());
+    let est = estimate(set, &runs);
+    RunResult {
+        workload: workload.to_string(),
+        predictor: label.to_string(),
+        stats: sum_window_stats(&runs),
+        num_paths,
+        failure,
+        wall,
+        sampling: Some(SamplingMeta {
+            windows: est.windows,
+            window_insts: set.window_insts,
+            warm_insts: set.warm_insts,
+            measured_insts: est.measured_insts,
+            warmed_insts: est.warmed_insts,
+            fast_forwarded_insts: est.fast_forwarded_insts,
+            horizon: est.horizon,
+            ipc_ci_half: est.ipc_ci_half,
+            full_ipc: None,
+            ipc_error: None,
+        }),
+    }
+}
+
+/// Builds and samples one (workload, predictor kind) pair serially:
+/// capture, then every window in checkpoint order. The grid path
+/// ([`Sweep::run_grid`] on a sampling sweep) instead captures once per
+/// workload and fans windows across the pool.
+pub(crate) fn execute_sampled(
+    workload: &Workload,
+    kind: &PredictorKind,
+    cfg: &CoreConfig,
+    budget: &Budget,
+    scfg: &SampleConfig,
+) -> RunResult {
+    let start = Instant::now();
+    let program = workload.build(budget.workload_iters);
+    let set = capture(&program, cfg, scfg, budget.insts).expect("workloads emulate cleanly");
+    let capture_wall = start.elapsed();
+    let mut core_cfg = cfg.clone();
+    core_cfg.train_point = kind.train_point();
+    let windows: Vec<(WindowRun, u64, Duration)> = (0..set.checkpoints.len())
+        .map(|j| {
+            let t = Instant::now();
+            let mut predictor = kind.build(&program, budget.insts);
+            let run = run_window(&program, &core_cfg, predictor.as_mut(), &set, j);
+            (run, predictor.num_paths(), t.elapsed())
+        })
+        .collect();
+    assemble_sampled(workload.name, &kind.label(), &set, windows, capture_wall)
+}
+
 /// A sweep: a worker pool plus the scoped degraded-run registry and run
 /// log for one experiment.
 ///
@@ -176,6 +270,7 @@ fn execute_one(
 #[derive(Debug, Default)]
 pub struct Sweep {
     workers: usize,
+    sampling: Option<SampleConfig>,
     degraded: Mutex<Vec<String>>,
     records: Mutex<Vec<RunRecord>>,
 }
@@ -184,6 +279,22 @@ impl Sweep {
     /// A sweep with an explicit worker count (clamped to at least 1).
     pub fn with_workers(workers: usize) -> Sweep {
         Sweep { workers: workers.max(1), ..Sweep::default() }
+    }
+
+    /// Switches this sweep to sampled mode: the run methods
+    /// ([`Sweep::run_one`], [`Sweep::run_all`], [`Sweep::run_grid`])
+    /// estimate each (workload, predictor) cell from detailed windows
+    /// via `phast-sample` instead of simulating the whole budget
+    /// cycle-accurately. [`Sweep::run_custom`] and [`Sweep::map`] are
+    /// unaffected.
+    pub fn with_sampling(mut self, scfg: SampleConfig) -> Sweep {
+        self.sampling = Some(scfg);
+        self
+    }
+
+    /// The sampling configuration, if this sweep runs in sampled mode.
+    pub fn sampling(&self) -> Option<SampleConfig> {
+        self.sampling
     }
 
     /// A serial sweep (one worker, no threads spawned).
@@ -257,7 +368,10 @@ impl Sweep {
         cfg: &CoreConfig,
         budget: &Budget,
     ) -> RunResult {
-        let run = execute_one(workload, kind, cfg, budget);
+        let run = match &self.sampling {
+            Some(scfg) => execute_sampled(workload, kind, cfg, budget, scfg),
+            None => execute_one(workload, kind, cfg, budget),
+        };
         self.record_all(std::slice::from_ref(&run));
         run
     }
@@ -265,6 +379,12 @@ impl Sweep {
     /// Runs every budgeted workload under one predictor, fanned across
     /// the pool; returns per-workload results in registry order.
     pub fn run_all(&self, kind: &PredictorKind, cfg: &CoreConfig, budget: &Budget) -> Vec<RunResult> {
+        if self.sampling.is_some() {
+            return self
+                .run_grid(std::slice::from_ref(kind), cfg, budget)
+                .pop()
+                .expect("one row per kind");
+        }
         let workloads = budget.workloads();
         let runs = self.map(&workloads, |_, w| execute_one(w, kind, cfg, budget));
         self.record_all(&runs);
@@ -282,6 +402,9 @@ impl Sweep {
         cfg: &CoreConfig,
         budget: &Budget,
     ) -> Vec<Vec<RunResult>> {
+        if let Some(scfg) = self.sampling {
+            return self.run_grid_sampled(kinds, cfg, budget, scfg);
+        }
         let workloads = budget.workloads();
         let cells: Vec<(usize, usize)> = (0..kinds.len())
             .flat_map(|k| (0..workloads.len()).map(move |w| (k, w)))
@@ -295,6 +418,86 @@ impl Sweep {
             rows.push(flat.by_ref().take(workloads.len()).collect());
         }
         rows
+    }
+
+    /// The sampled grid: **capture once per workload**, then fan every
+    /// (kind, workload, window) triple across the pool — windows replay
+    /// independently from their checkpoints, so the grid parallelizes at
+    /// window granularity rather than cell granularity. Results regroup
+    /// into the same `rows[kind][workload]` shape as the full-detail
+    /// grid; the capture wall-clock is attributed once per workload (to
+    /// the first kind's cell) so summed walls reflect real cost.
+    fn run_grid_sampled(
+        &self,
+        kinds: &[PredictorKind],
+        cfg: &CoreConfig,
+        budget: &Budget,
+        scfg: SampleConfig,
+    ) -> Vec<Vec<RunResult>> {
+        let rows = self.sampled_grid(kinds, cfg, budget, scfg);
+        let all: Vec<RunResult> = rows.iter().flatten().cloned().collect();
+        self.record_all(&all);
+        rows
+    }
+
+    /// [`run_grid_sampled`](Self::run_grid_sampled) without the run-log
+    /// recording — for callers (the `sampled` validation experiment) that
+    /// annotate the results before recording them.
+    pub(crate) fn sampled_grid(
+        &self,
+        kinds: &[PredictorKind],
+        cfg: &CoreConfig,
+        budget: &Budget,
+        scfg: SampleConfig,
+    ) -> Vec<Vec<RunResult>> {
+        let workloads = budget.workloads();
+        let captures: Vec<(Program, CheckpointSet, Duration)> = self.map(&workloads, |_, w| {
+            let t = Instant::now();
+            let program = w.build(budget.workload_iters);
+            let set =
+                capture(&program, cfg, &scfg, budget.insts).expect("workloads emulate cleanly");
+            let wall = t.elapsed();
+            (program, set, wall)
+        });
+        let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+        for k in 0..kinds.len() {
+            for (w, (_, set, _)) in captures.iter().enumerate() {
+                for j in 0..set.checkpoints.len() {
+                    tasks.push((k, w, j));
+                }
+            }
+        }
+        let flat = self.map(&tasks, |_, &(k, w, j)| {
+            let (program, set, _) = &captures[w];
+            let t = Instant::now();
+            let mut core_cfg = cfg.clone();
+            core_cfg.train_point = kinds[k].train_point();
+            let mut predictor = kinds[k].build(program, budget.insts);
+            let run = run_window(program, &core_cfg, predictor.as_mut(), set, j);
+            (run, predictor.num_paths(), t.elapsed())
+        });
+        let mut flat = flat.into_iter();
+        let mut rows: Vec<Vec<RunResult>> = Vec::with_capacity(kinds.len());
+        for (k, kind) in kinds.iter().enumerate() {
+            let mut row = Vec::with_capacity(workloads.len());
+            for (w, workload) in workloads.iter().enumerate() {
+                let (_, set, capture_wall) = &captures[w];
+                let windows: Vec<_> = flat.by_ref().take(set.checkpoints.len()).collect();
+                let capture_share = if k == 0 { *capture_wall } else { Duration::ZERO };
+                row.push(assemble_sampled(workload.name, &kind.label(), set, windows, capture_share));
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Flags a failure that is not a single run's [`SimError`] — e.g. a
+    /// sampled estimate landing outside its documented error bound — so
+    /// it reaches the degraded-run registry (and the binary's non-zero
+    /// exit) like any other degradation.
+    pub fn flag_degraded(&self, entry: String) {
+        eprintln!("warning: degraded run — {entry}");
+        self.degraded.lock().expect("degraded-run registry").push(entry);
     }
 
     /// Drains the recorded degraded-run descriptions (the experiment
@@ -347,6 +550,47 @@ mod tests {
         assert_eq!(Budget::full().workloads().len(), 23);
         assert_eq!(Budget::quick().workloads().len(), 6);
         assert_eq!(Budget::bench().workloads().len(), 2);
+        assert_eq!(Budget::sampled().workloads().len(), 23);
+    }
+
+    #[test]
+    fn sampling_defaults_scale_with_the_tier() {
+        assert_eq!(Budget::quick().default_sampling(), SampleConfig::default());
+        assert_eq!(Budget::full().default_sampling(), SampleConfig::default());
+        let deep = Budget::sampled().default_sampling();
+        assert!(deep.windows > SampleConfig::default().windows);
+    }
+
+    #[test]
+    fn sampled_sweep_estimates_cells() {
+        let budget = Budget { insts: 12_000, workload_iters: 100_000, max_workloads: Some(2) };
+        let cfg = CoreConfig::alder_lake();
+        let scfg = SampleConfig::new(3, 600, 400);
+        let sweep = Sweep::with_workers(4).with_sampling(scfg);
+        let kinds = [PredictorKind::StoreSets, PredictorKind::Blind];
+        let grid = sweep.run_grid(&kinds, &cfg, &budget);
+        assert_eq!(grid.len(), 2);
+        for row in &grid {
+            assert_eq!(row.len(), 2);
+            for r in row {
+                assert!(r.ok(), "{} × {} degraded", r.workload, r.predictor);
+                let meta = r.sampling.as_ref().expect("sampled metadata");
+                assert_eq!(meta.horizon, 12_000);
+                assert!(meta.windows >= 1);
+                assert!(meta.measured_insts > 0);
+                assert!(r.stats.ipc() > 0.0);
+            }
+        }
+        assert!(sweep.take_degraded().is_empty());
+
+        // The window-parallel grid and the serial per-cell path agree:
+        // capture and replay are deterministic.
+        let serial = Sweep::serial().with_sampling(scfg);
+        let w = budget.workloads();
+        let one = serial.run_one(&w[0], &kinds[0], &cfg, &budget);
+        assert_eq!(one.stats.cycles, grid[0][0].stats.cycles);
+        assert_eq!(one.stats.committed, grid[0][0].stats.committed);
+        assert_eq!(one.stats.violations, grid[0][0].stats.violations);
     }
 
     #[test]

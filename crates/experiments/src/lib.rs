@@ -35,6 +35,7 @@ pub mod pool;
 pub mod predictors;
 pub mod tablefmt;
 
-pub use artifact::SweepArtifact;
+pub use artifact::{SamplingMeta, SweepArtifact};
 pub use harness::{geomean, Budget, RunResult, Sweep};
+pub use phast_sample::SampleConfig;
 pub use predictors::PredictorKind;

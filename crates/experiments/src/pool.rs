@@ -21,13 +21,36 @@ use std::sync::Mutex;
 /// [`default_workers`] (`PHAST_WORKERS=1` forces serial execution).
 pub const WORKERS_ENV: &str = "PHAST_WORKERS";
 
+/// Parses a worker-count override: a positive decimal integer.
+///
+/// # Errors
+///
+/// Returns a human-readable description of what was wrong with the value
+/// — the callers (`PHAST_WORKERS`, `--workers=N`) print it and exit
+/// rather than silently falling back to a default the user did not ask
+/// for.
+pub fn parse_workers(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!("worker count must be at least 1, got '{raw}'")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("expected a positive integer worker count, got '{raw}'")),
+    }
+}
+
 /// The worker count a parallel sweep uses by default:
 /// `std::thread::available_parallelism()`, overridable with the
-/// `PHAST_WORKERS` environment variable.
+/// `PHAST_WORKERS` environment variable. A malformed override is a hard
+/// error (exit 2), not a silent fallback.
 pub fn default_workers() -> usize {
-    match std::env::var(WORKERS_ENV).ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+    match std::env::var(WORKERS_ENV) {
+        Ok(raw) => match parse_workers(&raw) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: invalid {WORKERS_ENV}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
     }
 }
 
@@ -104,5 +127,19 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_integers() {
+        assert_eq!(parse_workers("1"), Ok(1));
+        assert_eq!(parse_workers(" 16 "), Ok(16));
+    }
+
+    #[test]
+    fn parse_workers_rejects_garbage_and_zero() {
+        for bad in ["0", "", "four", "-2", "3.5", "8x"] {
+            let err = parse_workers(bad).expect_err(bad);
+            assert!(err.contains(bad.trim()) || bad.trim().is_empty(), "{bad}: {err}");
+        }
     }
 }

@@ -37,7 +37,7 @@ pub fn ranges_overlap(a: u64, asz: u64, b: u64, bsz: u64) -> bool {
 ///
 /// Reads of unwritten bytes return zero. Multi-byte accesses are
 /// little-endian and may cross line boundaries.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SparseMemory {
     lines: HashMap<u64, [u8; 64]>,
 }
@@ -82,6 +82,20 @@ impl SparseMemory {
     /// Number of 64-byte lines ever written.
     pub fn touched_lines(&self) -> usize {
         self.lines.len()
+    }
+
+    /// All touched lines as `(line_index, data)` pairs, sorted by line
+    /// index so that serialization is deterministic.
+    pub fn lines_sorted(&self) -> Vec<(u64, &[u8; 64])> {
+        let mut out: Vec<(u64, &[u8; 64])> = self.lines.iter().map(|(&k, v)| (k, v)).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Installs a full 64-byte line at `line_index` (addresses
+    /// `line_index * 64 ..`). Used when restoring a serialized snapshot.
+    pub fn insert_line(&mut self, line_index: u64, data: [u8; 64]) {
+        self.lines.insert(line_index, data);
     }
 }
 
@@ -128,6 +142,25 @@ pub struct ExecRecord {
     pub target_pc: Option<Pc>,
 }
 
+/// Complete architectural state of an [`Emulator`] at one point in time.
+///
+/// A snapshot captures registers, memory, the fetch cursor and the retired
+/// instruction count — everything needed to resume execution with
+/// [`Emulator::from_snapshot`] and observe the exact same record stream the
+/// original emulator would have produced. Snapshots are the architectural
+/// half of a sampling checkpoint (`phast-sample`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmuSnapshot {
+    /// Architectural register file.
+    pub regs: [u64; NUM_REGS],
+    /// Architectural memory.
+    pub memory: SparseMemory,
+    /// Next fetch point; `None` once halted.
+    pub cursor: Option<(BlockId, usize)>,
+    /// Instructions retired so far (the `seq` of the next record).
+    pub icount: u64,
+}
+
 /// Functional emulator over a borrowed [`Program`].
 ///
 /// # Examples
@@ -168,6 +201,31 @@ impl<'p> Emulator<'p> {
             mem: SparseMemory::new(),
             cursor: Some((program.entry(), 0)),
             icount: 0,
+        }
+    }
+
+    /// Creates an emulator resuming from a previously captured snapshot.
+    ///
+    /// `program` must be the same program the snapshot was taken from; the
+    /// resumed emulator then retires exactly the records the original would
+    /// have retired next.
+    pub fn from_snapshot(program: &'p Program, snap: &EmuSnapshot) -> Emulator<'p> {
+        Emulator {
+            program,
+            regs: snap.regs,
+            mem: snap.memory.clone(),
+            cursor: snap.cursor,
+            icount: snap.icount,
+        }
+    }
+
+    /// Captures the complete architectural state.
+    pub fn snapshot(&self) -> EmuSnapshot {
+        EmuSnapshot {
+            regs: self.regs,
+            memory: self.mem.clone(),
+            cursor: self.cursor,
+            icount: self.icount,
         }
     }
 
@@ -485,6 +543,41 @@ mod tests {
         let ld = &recs[3];
         assert_eq!(ld.eff_addr, Some(0x3004));
         assert_eq!(ld.dst_value, Some(0xff));
+    }
+
+    #[test]
+    fn snapshot_resumes_identically() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.at(entry).li(Reg(1), 50).li(Reg(2), 0x4000).fallthrough(body);
+        b.at(body)
+            .store(Reg(2), 0, Reg(1), MemSize::B8)
+            .load(Reg(3), Reg(2), 0, MemSize::B8)
+            .addi(Reg(1), Reg(1), -1)
+            .branchi(CondKind::Ne, Reg(1), 0, body)
+            .fallthrough(exit);
+        b.at(exit).halt();
+        b.set_entry(entry);
+        let p = b.build().unwrap();
+
+        let mut emu = Emulator::new(&p);
+        emu.run(37).unwrap();
+        let snap = emu.snapshot();
+        assert_eq!(snap.icount, 37);
+
+        let mut resumed = Emulator::from_snapshot(&p, &snap);
+        assert_eq!(resumed.snapshot(), snap, "round-trip through snapshot");
+        loop {
+            let a = emu.step().unwrap();
+            let b = resumed.step().unwrap();
+            assert_eq!(a, b, "resumed stream must match original");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(emu.reg(Reg(3)), resumed.reg(Reg(3)));
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod inst;
 mod program;
 
 pub use builder::{BlockHandle, BuildError, ProgramBuilder};
-pub use emu::{compute_value, ranges_overlap, EmuError, Emulator, ExecRecord, SparseMemory};
+pub use emu::{compute_value, ranges_overlap, EmuError, EmuSnapshot, Emulator, ExecRecord, SparseMemory};
 pub use inst::{AluKind, CondKind, ExecClass, Inst, MemSize, Op, Reg};
 pub use program::{BasicBlock, BlockId, Pc, Program};
 

@@ -61,7 +61,11 @@ pub struct CacheStats {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Flat tag array, `cfg.ways` consecutive entries per set — one
+    /// contiguous allocation so a probe walks a single cache-line-sized
+    /// span instead of chasing a per-set pointer.
+    ways: Vec<Way>,
+    set_mask: usize,
     lru_clock: u32,
     /// Outstanding misses: (line, completion_cycle). Pruned lazily.
     inflight: VecDeque<(u64, u64)>,
@@ -74,7 +78,8 @@ impl Cache {
         let sets = cfg.sets();
         Cache {
             cfg,
-            sets: vec![vec![Way::default(); cfg.ways]; sets],
+            ways: vec![Way::default(); sets * cfg.ways],
+            set_mask: sets - 1,
             lru_clock: 0,
             inflight: VecDeque::new(),
             stats: CacheStats::default(),
@@ -91,19 +96,19 @@ impl Cache {
         &self.stats
     }
 
+    /// The slice of ways holding `line`'s set.
     #[inline]
-    fn set_of(&self, line: u64) -> usize {
-        (line as usize) & (self.sets.len() - 1)
+    fn set_of(&mut self, line: u64) -> &mut [Way] {
+        let base = ((line as usize) & self.set_mask) * self.cfg.ways;
+        &mut self.ways[base..base + self.cfg.ways]
     }
 
     /// Looks up `line`, updating LRU on hit. Returns true on hit.
     pub fn probe(&mut self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let tag = line;
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
+        for way in self.set_of(line) {
+            if way.valid && way.tag == line {
                 way.lru = clock;
                 return true;
             }
@@ -113,17 +118,17 @@ impl Cache {
 
     /// Installs `line`, evicting the LRU way. Returns the evicted line.
     pub fn fill(&mut self, line: u64) -> Option<u64> {
-        let set = self.set_of(line);
         self.lru_clock += 1;
         let clock = self.lru_clock;
+        let set = self.set_of(line);
         // Already present (e.g. a prefetch raced a demand fill): refresh.
-        for way in &mut self.sets[set] {
+        for way in set.iter_mut() {
             if way.valid && way.tag == line {
                 way.lru = clock;
                 return None;
             }
         }
-        let victim = self.sets[set]
+        let victim = set
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
             .expect("ways > 0");

@@ -68,6 +68,7 @@ pub struct HierarchyStats {
 /// `access` returns the cycle at which the requested data is available,
 /// updating tag state eagerly (a common simplification in trace-driven
 /// simulators: the fill is installed at request time but timed correctly).
+#[derive(Clone)]
 pub struct Hierarchy {
     l1i: Cache,
     l1d: Cache,
@@ -79,6 +80,13 @@ pub struct Hierarchy {
     /// Reusable scratch buffer for prefetch candidates (keeps the access
     /// path allocation-free in steady state).
     pf_buf: Vec<u64>,
+    /// Line of the most recent data-side *warm* access. A consecutive
+    /// warm access to the same line is an L1D hit whose only effect is
+    /// re-stamping an LRU entry that is already the youngest in its set,
+    /// so the walk is skipped — exact as long as nothing else has touched
+    /// L1D in between, which every other L1D-touching path guarantees by
+    /// clearing the marker.
+    warm_data_line: Option<u64>,
 }
 
 impl Hierarchy {
@@ -93,6 +101,7 @@ impl Hierarchy {
             prefetcher: StridePrefetcher::new(cfg.prefetcher),
             dram_accesses: 0,
             pf_buf: Vec::with_capacity(cfg.prefetcher.degree as usize),
+            warm_data_line: None,
         }
     }
 
@@ -104,7 +113,10 @@ impl Hierarchy {
         let line = line_of(addr);
         let done = match kind {
             AccessKind::Fetch => self.access_from(Level::L1I, line, now),
-            AccessKind::Load | AccessKind::Store => self.access_from(Level::L1D, line, now),
+            AccessKind::Load | AccessKind::Store => {
+                self.warm_data_line = None;
+                self.access_from(Level::L1D, line, now)
+            }
         };
         if kind == AccessKind::Load {
             let mut pf_buf = std::mem::take(&mut self.pf_buf);
@@ -157,6 +169,67 @@ impl Hierarchy {
         let done = l1.track_miss(line, now, fill_done);
         l1.fill(line);
         done
+    }
+
+    /// Warms the hierarchy with an access that moves tag/LRU state exactly
+    /// like [`access`](Self::access) but records **no statistics** (no
+    /// hit/miss counts, no MSHR timing, no DRAM accounting). Used by the
+    /// sampled-simulation engine to warm caches during functional
+    /// fast-forward without polluting the detailed window's demand stats.
+    ///
+    /// For `Load` accesses the prefetcher is trained and confirmed streams
+    /// are installed (also stat-free), mirroring the demand path.
+    pub fn warm(&mut self, kind: AccessKind, pc: Pc, addr: u64) {
+        let line = line_of(addr);
+        match kind {
+            AccessKind::Fetch => self.warm_from(Level::L1I, line),
+            AccessKind::Load | AccessKind::Store => {
+                if self.warm_data_line != Some(line) {
+                    self.warm_from(Level::L1D, line);
+                    self.warm_data_line = Some(line);
+                }
+            }
+        }
+        if kind == AccessKind::Load {
+            let mut pf_buf = std::mem::take(&mut self.pf_buf);
+            self.prefetcher.observe_into(pc, addr, &mut pf_buf);
+            if !pf_buf.is_empty() {
+                // Prefetch probes/fills touch L1D, so the skip argument
+                // above no longer holds for the next access.
+                self.warm_data_line = None;
+            }
+            for &pf_addr in &pf_buf {
+                let pf_line = line_of(pf_addr);
+                if !self.l1d.probe(pf_line) {
+                    self.warm_from(Level::L1D, pf_line);
+                }
+            }
+            self.pf_buf = pf_buf;
+        }
+    }
+
+    /// Stat-free tag walk of [`access_from`](Self::access_from): probes the
+    /// same levels in the same order and fills the same lines, touching
+    /// only replacement state.
+    fn warm_from(&mut self, first: Level, line: u64) {
+        let l1 = match first {
+            Level::L1I => &mut self.l1i,
+            Level::L1D => &mut self.l1d,
+        };
+        if l1.probe(line) {
+            return;
+        }
+        if !self.l2.probe(line) {
+            if !self.l3.probe(line) {
+                self.l3.fill(line);
+            }
+            self.l2.fill(line);
+        }
+        let l1 = match first {
+            Level::L1I => &mut self.l1i,
+            Level::L1D => &mut self.l1d,
+        };
+        l1.fill(line);
     }
 
     fn prefetch(&mut self, line: u64, now: u64) {
@@ -243,6 +316,38 @@ mod tests {
         let done = m.access(AccessKind::Load, pc, 0x2_0000 + 4 * 64, before);
         assert_eq!(done, before + 5, "prefetched line hits in L1D");
         assert!(m.stats().l1d.prefetch_fills > 0);
+    }
+
+    #[test]
+    fn warm_moves_tags_without_stats() {
+        let mut m = h();
+        m.warm(AccessKind::Load, 0x40_0000, 0x1_0000);
+        let s = m.stats();
+        assert_eq!(s.l1d.hits, 0);
+        assert_eq!(s.l1d.misses, 0);
+        assert_eq!(s.dram_accesses, 0, "warming must not count demand DRAM accesses");
+        // The warmed line now hits at L1D latency like any resident line.
+        let done = m.access(AccessKind::Load, 0x40_0000, 0x1_0000, 100);
+        assert_eq!(done, 105, "warmed line hits in L1D");
+        assert_eq!(m.stats().l1d.hits, 1);
+    }
+
+    #[test]
+    fn warm_trains_prefetcher_like_demand_path() {
+        let mut warm = h();
+        let mut demand = h();
+        let pc = 0x40_0100;
+        let mut t = 0;
+        for i in 0..4u64 {
+            warm.warm(AccessKind::Load, pc, 0x2_0000 + i * 64);
+            t = demand.access(AccessKind::Load, pc, 0x2_0000 + i * 64, t);
+        }
+        // Both hierarchies should have the +1 line resident after the
+        // confirmed stride stream.
+        let w = warm.access(AccessKind::Load, pc, 0x2_0000 + 4 * 64, 1000);
+        let d = demand.access(AccessKind::Load, pc, 0x2_0000 + 4 * 64, 1000);
+        assert_eq!(w, d, "warm path installs the same prefetch lines");
+        assert_eq!(w, 1005);
     }
 
     #[test]

@@ -69,6 +69,12 @@ impl<'p> CommitChecker<'p> {
         CommitChecker { emu: Emulator::new(program), checked: 0 }
     }
 
+    /// A checker resuming from an architectural snapshot, for cores booted
+    /// mid-program from sampled-simulation checkpoints.
+    pub fn from_snapshot(program: &'p Program, snap: &phast_isa::EmuSnapshot) -> CommitChecker<'p> {
+        CommitChecker { emu: Emulator::from_snapshot(program, snap), checked: 0 }
+    }
+
     /// Commits successfully cross-checked so far.
     pub fn checked(&self) -> u64 {
         self.checked

@@ -25,8 +25,8 @@ use phast_branch::{
     LastTargetPredictor, ReturnAddressStack,
 };
 use phast_isa::{
-    compute_value, ranges_overlap, BlockId, ExecClass, Inst, MemSize, Op, Pc, Program, Reg,
-    SparseMemory, NUM_REGS,
+    compute_value, ranges_overlap, BlockId, EmuSnapshot, ExecClass, Inst, MemSize, Op, Pc,
+    Program, Reg, SparseMemory, NUM_REGS,
 };
 use phast_mdp::{
     DepPrediction, LoadCommit, LoadQuery, MemDepPredictor, PredictionOutcome, StoreQuery,
@@ -171,20 +171,43 @@ struct Uop {
 }
 
 /// The front end's indirect-target predictor (configurable flavour).
-enum IndirectPredictor {
+///
+/// Public so the sampled-simulation engine (`phast-sample`) can warm the
+/// same structure during functional fast-forward and hand it back to the
+/// core via [`BootState`].
+#[derive(Clone)]
+pub enum IndirectPredictor {
+    /// PC-indexed last-target table.
     LastTarget(LastTargetPredictor),
+    /// Path-history-tagged geometric predictor.
     Ittage(Box<Ittage>),
 }
 
 impl IndirectPredictor {
-    fn predict(&self, pc: Pc, ghr: u128) -> Option<BlockId> {
+    /// Creates a cold predictor of the configured flavour, sized exactly
+    /// like the one [`Core::new`] builds.
+    pub fn new(kind: IndirectPredictorKind) -> IndirectPredictor {
+        match kind {
+            IndirectPredictorKind::LastTarget => {
+                IndirectPredictor::LastTarget(LastTargetPredictor::new(512))
+            }
+            IndirectPredictorKind::Ittage => {
+                IndirectPredictor::Ittage(Box::new(Ittage::new(IttageConfig::default())))
+            }
+        }
+    }
+
+    /// Predicted target for the indirect branch at `pc` under path history
+    /// `ghr`, if any.
+    pub fn predict(&self, pc: Pc, ghr: u128) -> Option<BlockId> {
         match self {
             IndirectPredictor::LastTarget(p) => p.predict(pc),
             IndirectPredictor::Ittage(p) => p.predict(pc, ghr),
         }
     }
 
-    fn update(&mut self, pc: Pc, ghr: u128, target: BlockId) {
+    /// Records the resolved target of the indirect branch at `pc`.
+    pub fn update(&mut self, pc: Pc, ghr: u128, target: BlockId) {
         match self {
             IndirectPredictor::LastTarget(p) => p.update(pc, target),
             IndirectPredictor::Ittage(p) => p.update(pc, ghr, target),
@@ -269,6 +292,31 @@ pub struct Core<'a> {
     injector: Option<FaultInjector>,
 }
 
+/// Warmed state a core boots from mid-program (sampled simulation).
+///
+/// Built by `phast-sample` after functional fast-forward + warming: the
+/// architectural snapshot positions the core at an arbitrary point of the
+/// program, and the remaining fields seed the front-end speculation
+/// structures so the detailed window starts from realistic (not cold)
+/// state. See [`Core::with_state`].
+pub struct BootState {
+    /// Architectural registers/memory/cursor/instruction count.
+    pub arch: EmuSnapshot,
+    /// Conditional-branch global history register at the boot point.
+    pub cond_ghr: u128,
+    /// Path (target) global history register at the boot point.
+    pub path_ghr: u128,
+    /// Divergent-branch history at the boot point (seeds both the
+    /// speculative and the commit copy).
+    pub history: DivergentHistory,
+    /// Return-address stack at the boot point.
+    pub ras: ReturnAddressStack,
+    /// Warmed cache hierarchy (use a freshly created one for cold boots).
+    pub hierarchy: Hierarchy,
+    /// Warmed indirect-target predictor.
+    pub indirect: IndirectPredictor,
+}
+
 /// One committed instruction, for equivalence checks against the
 /// functional emulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -305,18 +353,74 @@ impl<'a> Core<'a> {
             path_ghr: 0,
             spec_hist: DivergentHistory::new(),
             commit_hist: DivergentHistory::new(),
-            indirect: match cfg.indirect_predictor {
-                IndirectPredictorKind::LastTarget => {
-                    IndirectPredictor::LastTarget(LastTargetPredictor::new(512))
-                }
-                IndirectPredictorKind::Ittage => {
-                    IndirectPredictor::Ittage(Box::new(Ittage::new(IttageConfig::default())))
-                }
-            },
+            indirect: IndirectPredictor::new(cfg.indirect_predictor),
             ras: ReturnAddressStack::new(32),
             rat: [None; NUM_REGS],
             arch_regs: [0; NUM_REGS],
             memory_state: SparseMemory::new(),
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            rob_head_token: 0,
+            iq_tokens: VecDeque::with_capacity(cfg.iq_size),
+            lq_tokens: VecDeque::with_capacity(cfg.lq_size),
+            sq_tokens: VecDeque::with_capacity(cfg.sq_size),
+            completions: BinaryHeap::with_capacity(2 * cfg.rob_size),
+            reg_writers: [0; NUM_REGS],
+            scratch_violations: Vec::with_capacity(16),
+            sb_drains: VecDeque::with_capacity(cfg.sq_size),
+            cycle: 0,
+            last_commit_cycle: 0,
+            stats: SimStats::default(),
+            halted: false,
+            commit_log: None,
+            checker,
+            injector,
+            program,
+            cfg,
+            predictor,
+            direction,
+        }
+    }
+
+    /// Creates a core resuming mid-program from warmed [`BootState`].
+    ///
+    /// The pipeline itself starts empty (ROB/queues/RAT are per-window
+    /// state that refills within tens of cycles); architectural state,
+    /// branch histories, the RAS, the indirect predictor and the cache
+    /// hierarchy come from the boot state. `program` must be the program
+    /// the boot state was captured from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is already halted — there is nothing left to
+    /// simulate past a retired `Halt`.
+    pub fn with_state(
+        program: &'a Program,
+        cfg: CoreConfig,
+        predictor: &'a mut dyn MemDepPredictor,
+        direction: Box<dyn DirectionPredictor>,
+        boot: BootState,
+    ) -> Core<'a> {
+        let cursor = boot.arch.cursor;
+        assert!(cursor.is_some(), "cannot boot a core from a halted snapshot");
+        let checker = cfg.check.lockstep.then(|| CommitChecker::from_snapshot(program, &boot.arch));
+        let injector = cfg.check.faults.map(FaultInjector::new);
+        Core {
+            mem: boot.hierarchy,
+            cursor,
+            fetch_stalled_until: 0,
+            cur_fetch_line: None,
+            next_token: 0,
+            next_arch_seq: boot.arch.icount,
+            halt_fetched: false,
+            cond_ghr: boot.cond_ghr,
+            path_ghr: boot.path_ghr,
+            spec_hist: boot.history.clone(),
+            commit_hist: boot.history,
+            indirect: boot.indirect,
+            ras: boot.ras,
+            rat: [None; NUM_REGS],
+            arch_regs: boot.arch.regs,
+            memory_state: boot.arch.memory,
             rob: VecDeque::with_capacity(cfg.rob_size),
             rob_head_token: 0,
             iq_tokens: VecDeque::with_capacity(cfg.iq_size),

@@ -55,7 +55,7 @@ mod error;
 mod runner;
 mod stats;
 
-pub use crate::core::{CommitRecord, Core};
+pub use crate::core::{BootState, CommitRecord, Core, IndirectPredictor};
 pub use check::{CheckConfig, CommitChecker, FaultInjector, FaultPlan};
 pub use config::{CoreConfig, IndirectPredictorKind, MemSquashPolicy, Ports, TrainPoint};
 pub use error::{DivergenceReport, HeadUop, PipelineSnapshot, SimError};

@@ -1,0 +1,369 @@
+//! Checkpoints: serializable architectural + warmed-state snapshots.
+//!
+//! A [`Checkpoint`] pins one detailed window: the architectural state at
+//! the start of that window's *warm* phase plus the [`WarmContext`] — the
+//! cheap, continuously-maintained speculation context (branch histories,
+//! RAS, sliding store window) that reflects the entire execution preceding
+//! the window. A [`CheckpointSet`] holds every window of a run and
+//! round-trips through a self-describing little-endian byte format
+//! ([`CheckpointSet::to_bytes`] / [`CheckpointSet::from_bytes`]), so a
+//! sweep can capture a workload once and replay its windows in parallel —
+//! or from disk — without re-executing the fast-forward prefix.
+//!
+//! The expensive predictor-independent structures (cache tags, direction
+//! and indirect predictor tables) are warmed continuously by the capture
+//! pass and snapshotted **in memory** alongside each checkpoint
+//! ([`CheckpointSet::warm`]); they are *not* part of the byte format,
+//! because they are a pure function of the program prefix — a set loaded
+//! from bytes regenerates them with one functional pass
+//! (`CheckpointSet::rewarm`). That keeps the format compact and
+//! predictor-agnostic — one capture serves every predictor in the sweep.
+//! MDP training state is predictor-specific and is warmed per window over
+//! the warm phase (see `docs/SAMPLING.md` for the warming rules).
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+use crate::warm::WarmState;
+use phast_branch::{DivergentHistory, ReturnAddressStack, HISTORY_CAPACITY};
+use phast_isa::{BlockId, EmuSnapshot, Pc, SparseMemory};
+use std::collections::VecDeque;
+
+/// Serialization magic: "PHSC" (PHast Sample Checkpoint).
+const MAGIC: [u8; 4] = *b"PHSC";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// One architecturally retired store remembered by the sliding window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreRec {
+    /// Dynamic instruction number of the store.
+    pub seq: u64,
+    /// Program counter of the store.
+    pub pc: Pc,
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Divergent-branch counter at the store (for §IV-A2 history lengths).
+    pub div_count: u64,
+}
+
+/// The cheap warming context maintained continuously during fast-forward.
+///
+/// Everything here is O(1) per instruction to maintain, so the capture
+/// pass keeps it live across the whole horizon; at each checkpoint it is
+/// cloned into the [`Checkpoint`]. Field semantics mirror the front end of
+/// `phast-ooo` exactly (same shift amounts, same push ordering), so a core
+/// booted from this context sees the history it would have built itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmContext {
+    /// Conditional-branch outcome history (1 bit per conditional).
+    pub cond_ghr: u128,
+    /// Path history (1 bit per conditional, 5 target bits per indirect).
+    pub path_ghr: u128,
+    /// Divergent-branch history ring.
+    pub history: DivergentHistory,
+    /// Return-address stack.
+    pub ras: ReturnAddressStack,
+    /// Sliding window of the youngest retired stores (newest at the back),
+    /// bounded by `store_window`.
+    pub stores: VecDeque<StoreRec>,
+    /// Window bound: the store-queue capacity of the modelled core.
+    pub store_window: usize,
+}
+
+impl WarmContext {
+    /// Creates an empty context for a core with `store_window` SQ entries
+    /// and a RAS of `ras_depth` entries.
+    pub fn new(store_window: usize, ras_depth: usize) -> WarmContext {
+        WarmContext {
+            cond_ghr: 0,
+            path_ghr: 0,
+            history: DivergentHistory::new(),
+            ras: ReturnAddressStack::new(ras_depth),
+            stores: VecDeque::with_capacity(store_window),
+            store_window,
+        }
+    }
+
+    fn serialize(&self, w: &mut ByteWriter) {
+        w.put_u128(self.cond_ghr);
+        w.put_u128(self.path_ghr);
+        let (buf, head, count) = self.history.raw_parts();
+        w.put_u64(count);
+        w.put_u32(head as u32);
+        w.put_bytes(buf);
+        let (entries, top) = self.ras.raw_parts();
+        w.put_u64(top as u64);
+        w.put_u32(entries.len() as u32);
+        for e in entries {
+            w.put_u32(e.0);
+        }
+        w.put_u32(self.store_window as u32);
+        w.put_u32(self.stores.len() as u32);
+        for s in &self.stores {
+            w.put_u64(s.seq);
+            w.put_u64(s.pc);
+            w.put_u64(s.addr);
+            w.put_u8(s.size as u8);
+            w.put_u64(s.div_count);
+        }
+    }
+
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<WarmContext, CodecError> {
+        let cond_ghr = r.get_u128()?;
+        let path_ghr = r.get_u128()?;
+        let count = r.get_u64()?;
+        let head = r.get_u32()? as usize;
+        if head >= HISTORY_CAPACITY {
+            return Err(CodecError::Corrupt("history head out of range"));
+        }
+        let buf = r.take(HISTORY_CAPACITY)?;
+        let history = DivergentHistory::from_raw_parts(buf, head, count);
+        let top = r.get_u64()? as usize;
+        let ras_len = r.get_u32()? as usize;
+        if ras_len == 0 {
+            return Err(CodecError::Corrupt("empty RAS"));
+        }
+        let mut entries = Vec::with_capacity(ras_len);
+        for _ in 0..ras_len {
+            entries.push(BlockId(r.get_u32()?));
+        }
+        let ras = ReturnAddressStack::from_raw_parts(&entries, top);
+        let store_window = r.get_u32()? as usize;
+        let n_stores = r.get_u32()? as usize;
+        let mut stores = VecDeque::with_capacity(store_window.max(n_stores));
+        for _ in 0..n_stores {
+            stores.push_back(StoreRec {
+                seq: r.get_u64()?,
+                pc: r.get_u64()?,
+                addr: r.get_u64()?,
+                size: u64::from(r.get_u8()?),
+                div_count: r.get_u64()?,
+            });
+        }
+        Ok(WarmContext { cond_ghr, path_ghr, history, ras, stores, store_window })
+    }
+}
+
+/// One window's checkpoint: where to resume and with what state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Instruction count at which the detailed window begins; the gap
+    /// between `arch.icount` and this is the window's warm phase.
+    pub detail_start: u64,
+    /// Architectural state at the start of the warm phase.
+    pub arch: EmuSnapshot,
+    /// Warming context at the start of the warm phase.
+    pub ctx: WarmContext,
+}
+
+impl Checkpoint {
+    fn serialize(&self, w: &mut ByteWriter) {
+        w.put_u64(self.detail_start);
+        w.put_u64(self.arch.icount);
+        match self.arch.cursor {
+            Some((b, i)) => {
+                w.put_u8(1);
+                w.put_u32(b.0);
+                w.put_u64(i as u64);
+            }
+            None => {
+                w.put_u8(0);
+                w.put_u32(0);
+                w.put_u64(0);
+            }
+        }
+        for &reg in &self.arch.regs {
+            w.put_u64(reg);
+        }
+        let lines = self.arch.memory.lines_sorted();
+        w.put_u32(lines.len() as u32);
+        for (index, data) in lines {
+            w.put_u64(index);
+            w.put_bytes(data);
+        }
+        self.ctx.serialize(w);
+    }
+
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<Checkpoint, CodecError> {
+        let detail_start = r.get_u64()?;
+        let icount = r.get_u64()?;
+        let cursor = match r.get_u8()? {
+            0 => {
+                let _ = r.get_u32()?;
+                let _ = r.get_u64()?;
+                None
+            }
+            1 => {
+                let b = r.get_u32()?;
+                let i = r.get_u64()? as usize;
+                Some((BlockId(b), i))
+            }
+            _ => return Err(CodecError::Corrupt("bad cursor flag")),
+        };
+        let mut regs = [0u64; phast_isa::NUM_REGS];
+        for reg in &mut regs {
+            *reg = r.get_u64()?;
+        }
+        let n_lines = r.get_u32()? as usize;
+        let mut memory = SparseMemory::new();
+        for _ in 0..n_lines {
+            let index = r.get_u64()?;
+            let data: [u8; 64] = r.take(64)?.try_into().expect("64 bytes");
+            memory.insert_line(index, data);
+        }
+        let ctx = WarmContext::deserialize(r)?;
+        Ok(Checkpoint { detail_start, arch: EmuSnapshot { regs, memory, cursor, icount }, ctx })
+    }
+}
+
+/// Every checkpoint of one (program, sampling-config) capture pass.
+#[derive(Clone)]
+pub struct CheckpointSet {
+    /// Total instruction horizon the capture covered.
+    pub horizon: u64,
+    /// Warm-phase length per window, in instructions.
+    pub warm_insts: u64,
+    /// Detailed-window length, in instructions.
+    pub window_insts: u64,
+    /// The windows, in program order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Per-checkpoint snapshots of the continuously warmed structures,
+    /// parallel to `checkpoints`. Empty after [`from_bytes`]
+    /// (`CheckpointSet::from_bytes`) — regenerate with
+    /// `CheckpointSet::rewarm` before replaying windows.
+    pub warm: Vec<WarmState>,
+}
+
+/// Equality is over the *serialized* content (everything except the
+/// regenerable [`warm`](CheckpointSet::warm) snapshots), so a decoded set
+/// compares equal to the set it was encoded from.
+impl PartialEq for CheckpointSet {
+    fn eq(&self, other: &CheckpointSet) -> bool {
+        self.horizon == other.horizon
+            && self.warm_insts == other.warm_insts
+            && self.window_insts == other.window_insts
+            && self.checkpoints == other.checkpoints
+    }
+}
+
+impl std::fmt::Debug for CheckpointSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointSet")
+            .field("horizon", &self.horizon)
+            .field("warm_insts", &self.warm_insts)
+            .field("window_insts", &self.window_insts)
+            .field("checkpoints", &self.checkpoints)
+            .field("warm", &format_args!("[{} snapshots]", self.warm.len()))
+            .finish()
+    }
+}
+
+impl CheckpointSet {
+    /// Serializes the set to the in-tree byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u32(VERSION);
+        w.put_u64(self.horizon);
+        w.put_u64(self.warm_insts);
+        w.put_u64(self.window_insts);
+        w.put_u32(self.checkpoints.len() as u32);
+        for cp in &self.checkpoints {
+            cp.serialize(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a set serialized by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated, mis-tagged or structurally invalid
+    /// input. Decoding is total: no input panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CheckpointSet, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(4).map_err(|_| CodecError::BadMagic)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let horizon = r.get_u64()?;
+        let warm_insts = r.get_u64()?;
+        let window_insts = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut checkpoints = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            checkpoints.push(Checkpoint::deserialize(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        Ok(CheckpointSet { horizon, warm_insts, window_insts, checkpoints, warm: Vec::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> CheckpointSet {
+        let mut ctx = WarmContext::new(4, 8);
+        ctx.cond_ghr = 0b1011;
+        ctx.path_ghr = 0xfeed;
+        ctx.history.push(phast_branch::DivergentEvent { indirect: false, taken: true, target: 7 });
+        ctx.ras.push(BlockId(3));
+        ctx.stores.push_back(StoreRec { seq: 9, pc: 0x40, addr: 0x2000, size: 8, div_count: 1 });
+        let mut memory = SparseMemory::new();
+        memory.write_byte(0x2000, 0x5a);
+        memory.write_byte(0x99, 0x11);
+        let arch = EmuSnapshot {
+            regs: std::array::from_fn(|i| i as u64 * 3),
+            memory,
+            cursor: Some((BlockId(2), 1)),
+            icount: 10,
+        };
+        CheckpointSet {
+            horizon: 1000,
+            warm_insts: 50,
+            window_insts: 25,
+            checkpoints: vec![Checkpoint { detail_start: 60, arch, ctx }],
+            warm: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let set = sample_set();
+        let bytes = set.to_bytes();
+        let back = CheckpointSet::from_bytes(&bytes).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.to_bytes(), bytes, "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_errors() {
+        let mut bytes = sample_set().to_bytes();
+        assert_eq!(CheckpointSet::from_bytes(&[]), Err(CodecError::BadMagic));
+        let last = bytes.len() - 1;
+        assert_eq!(CheckpointSet::from_bytes(&bytes[..last]), Err(CodecError::UnexpectedEof));
+        bytes[0] = b'X';
+        assert_eq!(CheckpointSet::from_bytes(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let mut bytes = sample_set().to_bytes();
+        bytes[4] = 99;
+        assert_eq!(CheckpointSet::from_bytes(&bytes), Err(CodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_set().to_bytes();
+        bytes.push(0);
+        assert_eq!(CheckpointSet::from_bytes(&bytes), Err(CodecError::Corrupt("trailing bytes")));
+    }
+}

@@ -1,0 +1,449 @@
+//! The sampling engine: capture, window replay, and estimation.
+//!
+//! A sampled run of a program over an instruction `horizon` proceeds in
+//! two passes:
+//!
+//! 1. **Capture** ([`capture`]): one functional pass through the
+//!    `phast-isa` emulator, maintaining the cheap [`WarmContext`] *and*
+//!    the predictor-independent long-lived structures
+//!    ([`WarmState`](crate::WarmState): caches + prefetcher, direction predictor,
+//!    indirect-target predictor) continuously, and snapshotting both at
+//!    the start of each window's warm phase. Windows are placed
+//!    systematically (SMARTS style): the horizon is divided into
+//!    `windows` equal strides and the detailed window sits at the
+//!    *middle* of each stride, preceded by its warm phase. Mid-stride
+//!    placement keeps every window fully warmed; the startup transient is
+//!    deliberately not sampled — its weight in a full run vanishes as the
+//!    horizon grows, whereas a cold window would overweight it by the
+//!    stride-to-window ratio (see `docs/SAMPLING.md`).
+//! 2. **Replay** ([`run_window`]): per window — and independently, so
+//!    windows parallelize across workers — restore the emulator and the
+//!    warmed structures from the checkpoint, warm the predictor-specific
+//!    MDP training state over the warm phase (structures keep warming
+//!    alongside), then boot a `phast-ooo` core from the warmed state and
+//!    run the detailed window cycle-accurately.
+//!
+//! [`estimate`] aggregates per-window statistics into a point estimate
+//! with a 95% confidence interval plus measured/warmed/fast-forwarded
+//! instruction accounting.
+
+use crate::checkpoint::{Checkpoint, CheckpointSet, WarmContext};
+use crate::warm::Warmer;
+use phast_isa::{EmuError, Emulator, Program};
+use phast_mdp::MemDepPredictor;
+use phast_ooo::{BootState, Core, CoreConfig, SimError, SimStats};
+
+/// Depth of the core's return-address stack (mirrors `Core::new`).
+const RAS_DEPTH: usize = 32;
+
+/// Sampling parameters: how many windows, and how long each warm phase
+/// and detailed window run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Number of detailed windows spread over the horizon.
+    pub windows: usize,
+    /// Instructions of microarchitectural warming before each window.
+    pub warm_insts: u64,
+    /// Instructions measured cycle-accurately per window.
+    pub window_insts: u64,
+}
+
+impl Default for SampleConfig {
+    /// Defaults tuned on the quick validation grid (see `docs/SAMPLING.md`
+    /// for the error bound they achieve).
+    fn default() -> SampleConfig {
+        SampleConfig { windows: 8, warm_insts: 2_000, window_insts: 1_000 }
+    }
+}
+
+impl SampleConfig {
+    /// A config with explicit parameters.
+    pub fn new(windows: usize, warm_insts: u64, window_insts: u64) -> SampleConfig {
+        SampleConfig { windows, warm_insts, window_insts }
+    }
+}
+
+/// Captures checkpoints for a sampled run of `program` over `horizon`
+/// instructions.
+///
+/// One functional pass: fast-forwards the emulator, maintaining the cheap
+/// warming context *and* the predictor-independent structures
+/// ([`WarmState`](crate::WarmState)) continuously, and snapshots both at each window's
+/// warm-phase start. If the program halts before the horizon, capture
+/// stops early and returns the windows placed so far.
+///
+/// # Errors
+///
+/// Propagates an [`EmuError`] from the functional emulator (a workload
+/// executing an invalid `Ret`).
+pub fn capture(
+    program: &Program,
+    cfg: &CoreConfig,
+    scfg: &SampleConfig,
+    horizon: u64,
+) -> Result<CheckpointSet, EmuError> {
+    let windows = scfg.windows.max(1) as u64;
+    let stride = (horizon / windows).max(scfg.window_insts.max(1));
+    // Mid-stride placement: the measured region sits in the middle of
+    // each stride, so every window (including the first) is preceded by
+    // fast-forwarded execution and a warm phase.
+    let offset = (stride - scfg.window_insts.min(stride)) / 2;
+    let mut emu = Emulator::new(program);
+    let mut ctx = WarmContext::new(cfg.sq_size, RAS_DEPTH);
+    let mut warmer = Warmer::new(cfg);
+    let mut checkpoints = Vec::with_capacity(windows as usize);
+    let mut warm = Vec::with_capacity(windows as usize);
+    'place: for w in 0..windows {
+        let detail_start = w * stride + offset;
+        let warm_start = detail_start.saturating_sub(scfg.warm_insts);
+        while emu.retired() < warm_start {
+            match emu.step()? {
+                Some(rec) => {
+                    let next_block = emu.cursor().map(|(b, _)| b);
+                    warmer.warm_structures(&ctx, program, &rec, next_block);
+                    ctx.observe(program, &rec);
+                }
+                None => break 'place,
+            }
+        }
+        if emu.halted() {
+            break;
+        }
+        checkpoints.push(Checkpoint { detail_start, arch: emu.snapshot(), ctx: ctx.clone() });
+        warm.push(warmer.state.clone());
+    }
+    Ok(CheckpointSet {
+        horizon,
+        warm_insts: scfg.warm_insts,
+        window_insts: scfg.window_insts,
+        checkpoints,
+        warm,
+    })
+}
+
+impl CheckpointSet {
+    /// Regenerates the in-memory [`WarmState`](crate::WarmState) snapshots after
+    /// [`from_bytes`](CheckpointSet::from_bytes): one functional pass over
+    /// the same prefix the original capture covered. The snapshots are a
+    /// pure function of the program, so the regenerated states are
+    /// identical to the ones the capture pass held.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an [`EmuError`] from the functional emulator.
+    pub fn rewarm(&mut self, program: &Program, cfg: &CoreConfig) -> Result<(), EmuError> {
+        let mut emu = Emulator::new(program);
+        let mut ctx = WarmContext::new(cfg.sq_size, RAS_DEPTH);
+        let mut warmer = Warmer::new(cfg);
+        let mut warm = Vec::with_capacity(self.checkpoints.len());
+        for cp in &self.checkpoints {
+            while emu.retired() < cp.arch.icount {
+                match emu.step()? {
+                    Some(rec) => {
+                        let next_block = emu.cursor().map(|(b, _)| b);
+                        warmer.warm_structures(&ctx, program, &rec, next_block);
+                        ctx.observe(program, &rec);
+                    }
+                    None => break,
+                }
+            }
+            warm.push(warmer.state.clone());
+        }
+        self.warm = warm;
+        Ok(())
+    }
+}
+
+/// Result of one detailed window.
+#[derive(Clone, Debug)]
+pub struct WindowRun {
+    /// Statistics of the detailed window (default/empty if the program
+    /// halted during the warm phase).
+    pub stats: SimStats,
+    /// Simulation failure, if the window degraded.
+    pub failure: Option<SimError>,
+    /// Instructions spent warming before this window.
+    pub warmed: u64,
+}
+
+/// Replays window `w` of the set: restore, warm, run detailed.
+///
+/// Windows are independent — this function takes everything it needs by
+/// shared reference to the capture artifacts, so callers can fan windows
+/// out across worker threads. The predictor must be freshly built (cold):
+/// its training state is warmed here, over the warm phase, through
+/// `phast_mdp::Warmable`. The predictor-independent structures resume
+/// from the checkpoint's [`WarmState`](crate::WarmState) snapshot, which reflects the
+/// entire execution preceding the window.
+///
+/// # Panics
+///
+/// Panics if the set has no warm snapshot for window `w` — a set loaded
+/// with `CheckpointSet::from_bytes` must be
+/// [`rewarm`](CheckpointSet::rewarm)ed first.
+pub fn run_window(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    set: &CheckpointSet,
+    w: usize,
+) -> WindowRun {
+    let cp = &set.checkpoints[w];
+    let state = set
+        .warm
+        .get(w)
+        .expect("checkpoint set has no warm snapshots — call rewarm() after from_bytes()")
+        .clone();
+    let mut emu = Emulator::from_snapshot(program, &cp.arch);
+    let mut ctx = cp.ctx.clone();
+    let mut warmer = Warmer::from_state(state, cfg);
+    while emu.retired() < cp.detail_start && !emu.halted() {
+        let rec = emu
+            .step()
+            .expect("capture pass emulated this prefix")
+            .expect("checked not halted");
+        let next_block = emu.cursor().map(|(b, _)| b);
+        warmer.warm_step(&mut ctx, program, &rec, next_block, predictor);
+    }
+    let warmed = emu.retired() - cp.arch.icount;
+    // Warming traffic must not pollute the measured window's counters.
+    predictor.reset_access_stats();
+    if emu.halted() {
+        return WindowRun { stats: SimStats::default(), failure: None, warmed };
+    }
+    let boot = BootState {
+        arch: emu.snapshot(),
+        cond_ghr: ctx.cond_ghr,
+        path_ghr: ctx.path_ghr,
+        history: ctx.history.clone(),
+        ras: ctx.ras.clone(),
+        hierarchy: warmer.state.hierarchy,
+        indirect: warmer.state.indirect,
+    };
+    let mut core =
+        Core::with_state(program, cfg.clone(), predictor, Box::new(warmer.state.direction), boot);
+    // Detailed ramp: the core boots with an empty pipeline, so the first
+    // ~ROB-size instructions commit below steady-state IPC while the
+    // window fills. Run them cycle-accurately but *discard* them from the
+    // measurement (SMARTS "detailed warming") — the window statistics are
+    // the delta between the two resumable `try_run` calls.
+    let ramp = cfg.rob_size as u64;
+    let max_cycles = ((ramp + set.window_insts) * 20).max(1_000_000);
+    let before = match core.try_run(ramp, max_cycles) {
+        Ok(stats) => stats,
+        Err(e) => return WindowRun { stats: SimStats::default(), failure: Some(e), warmed },
+    };
+    if before.halted {
+        return WindowRun { stats: SimStats::default(), failure: None, warmed: warmed + before.committed };
+    }
+    match core.try_run(ramp + set.window_insts, max_cycles) {
+        Ok(stats) => WindowRun {
+            stats: diff_stats(&stats, &before),
+            failure: None,
+            warmed: warmed + before.committed,
+        },
+        Err(e) => WindowRun { stats: SimStats::default(), failure: Some(e), warmed: warmed + before.committed },
+    }
+}
+
+/// Field-wise `after − before` of two cumulative statistics snapshots
+/// from the same core (the measured window between two resumable
+/// `try_run` calls). Flags (`halted`, `ceiling_hit`) come from `after`.
+#[allow(clippy::field_reassign_with_default)] // one line per field beats a 25-field literal
+fn diff_stats(after: &SimStats, before: &SimStats) -> SimStats {
+    let mut out = SimStats::default();
+    out.cycles = after.cycles - before.cycles;
+    out.committed = after.committed - before.committed;
+    out.committed_loads = after.committed_loads - before.committed_loads;
+    out.committed_stores = after.committed_stores - before.committed_stores;
+    out.committed_cond_branches = after.committed_cond_branches - before.committed_cond_branches;
+    out.branch_mispredicts = after.branch_mispredicts - before.branch_mispredicts;
+    out.indirect_mispredicts = after.indirect_mispredicts - before.indirect_mispredicts;
+    out.violations = after.violations - before.violations;
+    out.false_dependences = after.false_dependences - before.false_dependences;
+    out.forwarded_loads = after.forwarded_loads - before.forwarded_loads;
+    out.filtered_violations = after.filtered_violations - before.filtered_violations;
+    out.squashed_uops = after.squashed_uops - before.squashed_uops;
+    out.mdp_stalled_loads = after.mdp_stalled_loads - before.mdp_stalled_loads;
+    out.predictor_accesses = phast_mdp::AccessStats {
+        reads: after.predictor_accesses.reads - before.predictor_accesses.reads,
+        writes: after.predictor_accesses.writes - before.predictor_accesses.writes,
+    };
+    out.memory.l1i = sub_cache(after.memory.l1i, before.memory.l1i);
+    out.memory.l1d = sub_cache(after.memory.l1d, before.memory.l1d);
+    out.memory.l2 = sub_cache(after.memory.l2, before.memory.l2);
+    out.memory.l3 = sub_cache(after.memory.l3, before.memory.l3);
+    out.memory.dram_accesses = after.memory.dram_accesses - before.memory.dram_accesses;
+    out.halted = after.halted;
+    out.ceiling_hit = after.ceiling_hit;
+    out.checked_commits = after.checked_commits - before.checked_commits;
+    out.injected_faults = after.injected_faults - before.injected_faults;
+    out.invariant_audits = after.invariant_audits - before.invariant_audits;
+    out
+}
+
+fn sub_cache(a: phast_mem::CacheStats, b: phast_mem::CacheStats) -> phast_mem::CacheStats {
+    phast_mem::CacheStats {
+        hits: a.hits - b.hits,
+        misses: a.misses - b.misses,
+        mshr_merges: a.mshr_merges - b.mshr_merges,
+        mshr_stall_cycles: a.mshr_stall_cycles - b.mshr_stall_cycles,
+        prefetch_fills: a.prefetch_fills - b.prefetch_fills,
+    }
+}
+
+/// Point estimate with confidence interval over a set of window runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SampleEstimate {
+    /// Windows that produced a measurement (non-degraded, non-empty).
+    pub windows: usize,
+    /// Ratio-of-sums IPC estimate: Σ committed / Σ cycles. This is the
+    /// headline estimate compared against full-detail IPC.
+    pub ipc: f64,
+    /// Mean of the per-window IPCs.
+    pub ipc_mean: f64,
+    /// Half-width of the 95% confidence interval on `ipc_mean`
+    /// (z·s/√n with z = 1.96; 0 when fewer than 2 windows).
+    pub ipc_ci_half: f64,
+    /// Violation MPKI over the measured instructions.
+    pub violation_mpki: f64,
+    /// False-dependence MPKI over the measured instructions.
+    pub false_dep_mpki: f64,
+    /// Instructions measured cycle-accurately.
+    pub measured_insts: u64,
+    /// Instructions spent in warm phases.
+    pub warmed_insts: u64,
+    /// Instructions covered only by functional fast-forward.
+    pub fast_forwarded_insts: u64,
+    /// Total horizon the capture covered.
+    pub horizon: u64,
+}
+
+/// Aggregates per-window statistics into one estimate.
+pub fn estimate(set: &CheckpointSet, runs: &[WindowRun]) -> SampleEstimate {
+    let mut ipcs: Vec<f64> = Vec::with_capacity(runs.len());
+    let mut committed = 0u64;
+    let mut cycles = 0u64;
+    let mut violations = 0u64;
+    let mut false_deps = 0u64;
+    let mut warmed = 0u64;
+    for r in runs {
+        warmed += r.warmed;
+        if r.failure.is_some() || r.stats.cycles == 0 {
+            continue;
+        }
+        ipcs.push(r.stats.ipc());
+        committed += r.stats.committed;
+        cycles += r.stats.cycles;
+        violations += r.stats.violations;
+        false_deps += r.stats.false_dependences;
+    }
+    let n = ipcs.len();
+    let mean = if n == 0 { 0.0 } else { ipcs.iter().sum::<f64>() / n as f64 };
+    let ci_half = if n < 2 {
+        0.0
+    } else {
+        let var = ipcs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        1.96 * var.sqrt() / (n as f64).sqrt()
+    };
+    let per_kilo = |x: u64| if committed == 0 { 0.0 } else { 1000.0 * x as f64 / committed as f64 };
+    SampleEstimate {
+        windows: n,
+        ipc: if cycles == 0 { 0.0 } else { committed as f64 / cycles as f64 },
+        ipc_mean: mean,
+        ipc_ci_half: ci_half,
+        violation_mpki: per_kilo(violations),
+        false_dep_mpki: per_kilo(false_deps),
+        measured_insts: committed,
+        warmed_insts: warmed,
+        fast_forwarded_insts: set.horizon.saturating_sub(committed + warmed),
+        horizon: set.horizon,
+    }
+}
+
+/// The documented acceptance bound for a sampled IPC estimate against the
+/// full-detail IPC of the same run (see `docs/SAMPLING.md`): the larger
+/// of 12% of the full-detail IPC and twice the estimate's 95% confidence
+/// half-width, floored at 0.05 IPC for near-zero-IPC runs.
+pub fn ipc_error_bound(full_ipc: f64, ci_half: f64) -> f64 {
+    (0.12 * full_ipc).max(2.0 * ci_half).max(0.05)
+}
+
+impl SampleEstimate {
+    /// [`ipc_error_bound`] evaluated with this estimate's confidence
+    /// half-width.
+    pub fn ipc_error_bound(&self, full_ipc: f64) -> f64 {
+        ipc_error_bound(full_ipc, self.ipc_ci_half)
+    }
+}
+
+/// Sums window statistics into one `SimStats`-shaped record so sampled
+/// runs flow through the same reporting paths as full-detail runs.
+/// Per-window hierarchy and predictor-access counters are summed
+/// field-wise; `halted` is true if any window observed the program halt.
+pub fn sum_window_stats(runs: &[WindowRun]) -> SimStats {
+    let mut out = SimStats::default();
+    for r in runs {
+        let s = &r.stats;
+        out.cycles += s.cycles;
+        out.committed += s.committed;
+        out.committed_loads += s.committed_loads;
+        out.committed_stores += s.committed_stores;
+        out.committed_cond_branches += s.committed_cond_branches;
+        out.branch_mispredicts += s.branch_mispredicts;
+        out.indirect_mispredicts += s.indirect_mispredicts;
+        out.violations += s.violations;
+        out.false_dependences += s.false_dependences;
+        out.forwarded_loads += s.forwarded_loads;
+        out.filtered_violations += s.filtered_violations;
+        out.squashed_uops += s.squashed_uops;
+        out.mdp_stalled_loads += s.mdp_stalled_loads;
+        out.predictor_accesses.add(s.predictor_accesses);
+        out.memory.l1i = add_cache(out.memory.l1i, s.memory.l1i);
+        out.memory.l1d = add_cache(out.memory.l1d, s.memory.l1d);
+        out.memory.l2 = add_cache(out.memory.l2, s.memory.l2);
+        out.memory.l3 = add_cache(out.memory.l3, s.memory.l3);
+        out.memory.dram_accesses += s.memory.dram_accesses;
+        out.halted |= s.halted;
+        out.ceiling_hit |= s.ceiling_hit;
+        out.checked_commits += s.checked_commits;
+        out.injected_faults += s.injected_faults;
+        out.invariant_audits += s.invariant_audits;
+    }
+    out
+}
+
+fn add_cache(a: phast_mem::CacheStats, b: phast_mem::CacheStats) -> phast_mem::CacheStats {
+    phast_mem::CacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        mshr_merges: a.mshr_merges + b.mshr_merges,
+        mshr_stall_cycles: a.mshr_stall_cycles + b.mshr_stall_cycles,
+        prefetch_fills: a.prefetch_fills + b.prefetch_fills,
+    }
+}
+
+/// Serial convenience: capture + replay every window + estimate, building
+/// a fresh predictor per window via `build`. The parallel path lives in
+/// `phast-experiments`, which fans [`run_window`] calls across its worker
+/// pool; this entry point serves tests and single-run callers.
+///
+/// # Errors
+///
+/// Propagates an [`EmuError`] from the capture pass.
+pub fn run_sampled(
+    program: &Program,
+    cfg: &CoreConfig,
+    scfg: &SampleConfig,
+    horizon: u64,
+    build: &mut dyn FnMut() -> Box<dyn MemDepPredictor>,
+) -> Result<(SampleEstimate, Vec<WindowRun>), EmuError> {
+    let set = capture(program, cfg, scfg, horizon)?;
+    let runs: Vec<WindowRun> = (0..set.checkpoints.len())
+        .map(|w| {
+            let mut predictor = build();
+            run_window(program, cfg, predictor.as_mut(), &set, w)
+        })
+        .collect();
+    Ok((estimate(&set, &runs), runs))
+}

@@ -1,0 +1,39 @@
+//! Sampled simulation: functional fast-forward, microarchitectural
+//! warming, and checkpointed detailed windows.
+//!
+//! Full-detail sweeps pay cycle-accurate cost for every instruction even
+//! though most of a run is steady state. This crate implements the
+//! standard answer — statistical sampling with functional warming: divide
+//! the horizon into equal strides, fast-forward functionally between
+//! windows while keeping long-lived structures warm, and measure only a
+//! short detailed window per stride through the `phast-ooo` core. The
+//! per-window results aggregate into an IPC/MPKI point estimate with a
+//! confidence interval ([`SampleEstimate`]).
+//!
+//! * [`capture`] makes one functional pass and emits a serializable
+//!   [`CheckpointSet`] (architectural snapshot + warmed context per
+//!   window; in-tree byte format, no external deps).
+//! * [`run_window`] replays one window independently: restore → warm the
+//!   caches/branch predictors/MDP over the warm phase → boot the core via
+//!   `phast_ooo::BootState` → run the detailed window. Independence is
+//!   what lets `phast-experiments` fan windows across its worker pool.
+//! * [`estimate`] turns window runs into the point estimate and
+//!   instruction accounting (measured vs warmed vs fast-forwarded).
+//!
+//! Methodology, warming rules and the documented error bound live in
+//! `docs/SAMPLING.md`.
+
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod codec;
+mod engine;
+mod warm;
+
+pub use checkpoint::{Checkpoint, CheckpointSet, StoreRec, WarmContext};
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use engine::{
+    capture, estimate, ipc_error_bound, run_sampled, run_window, sum_window_stats, SampleConfig,
+    SampleEstimate, WindowRun,
+};
+pub use warm::{WarmState, Warmer};

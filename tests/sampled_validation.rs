@@ -1,0 +1,84 @@
+//! Sampled-versus-full accuracy validation (cross-crate).
+//!
+//! The acceptance contract of the sampling subsystem: on a grid of at
+//! least 4 workloads × 2 predictors, the sampled IPC estimate must land
+//! within the documented error bound (`docs/SAMPLING.md`,
+//! `phast_sample::ipc_error_bound`) of the full-detail IPC over the same
+//! horizon. Checking is off and the horizon is moderate so the debug
+//! profile stays fast — but not shorter: mid-stride window placement
+//! deliberately leaves the cold-boot transient unsampled, so the horizon
+//! must be long enough for that transient to be a small fraction of the
+//! full-detail reference too. The CI quick-grid step re-runs the same
+//! contract at release scale through `phast-experiments --quick sampled`.
+
+use phast_baselines::{StoreSets, StoreSetsConfig};
+use phast_mdp::MemDepPredictor;
+use phast_ooo::{simulate, CheckConfig, CoreConfig};
+use phast_sample::{ipc_error_bound, run_sampled, SampleConfig};
+use phast::{Phast, PhastConfig};
+
+const HORIZON: u64 = 80_000;
+const WORKLOADS: [&str; 4] = ["mcf", "exchange2", "omnetpp", "gcc_1"];
+
+type PredictorBuilder = Box<dyn Fn() -> Box<dyn MemDepPredictor>>;
+
+fn predictors() -> Vec<(&'static str, PredictorBuilder)> {
+    vec![
+        ("store-sets", Box::new(|| Box::new(StoreSets::new(StoreSetsConfig::paper())))),
+        ("phast", Box::new(|| Box::new(Phast::new(PhastConfig::paper())))),
+    ]
+}
+
+#[test]
+fn sampled_ipc_is_within_the_documented_bound() {
+    let mut cfg = CoreConfig::alder_lake();
+    cfg.check = CheckConfig::off();
+    let scfg = SampleConfig::new(6, 1_500, 800);
+    for name in WORKLOADS {
+        let w = phast_workloads::by_name(name).expect("workload exists");
+        let program = w.build(200_000);
+        for (label, build) in predictors() {
+            let mut full_pred = build();
+            let full = simulate(&program, &cfg, full_pred.as_mut(), HORIZON);
+            let full_ipc = full.ipc();
+
+            let mut build_box = || build();
+            let (est, runs) = run_sampled(&program, &cfg, &scfg, HORIZON, &mut build_box)
+                .expect("workloads emulate cleanly");
+            assert!(runs.iter().all(|r| r.failure.is_none()), "{name} × {label}: window degraded");
+            assert!(est.windows >= 2, "{name} × {label}: too few windows measured");
+
+            let err = (est.ipc - full_ipc).abs();
+            let bound = ipc_error_bound(full_ipc, est.ipc_ci_half);
+            assert!(
+                err <= bound,
+                "{name} × {label}: sampled IPC {:.4} vs full {:.4} — error {err:.4} \
+                 exceeds bound {bound:.4} (ci half {:.4})",
+                est.ipc,
+                full_ipc,
+                est.ipc_ci_half,
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_measures_far_fewer_instructions_than_full_detail() {
+    let mut cfg = CoreConfig::alder_lake();
+    cfg.check = CheckConfig::off();
+    let scfg = SampleConfig::new(6, 1_500, 800);
+    let w = phast_workloads::by_name("mcf").expect("workload exists");
+    let program = w.build(200_000);
+    let (est, _) = run_sampled(&program, &cfg, &scfg, HORIZON, &mut || {
+        Box::new(StoreSets::new(StoreSetsConfig::paper()))
+    })
+    .expect("clean");
+    // The point of sampling: the cycle-accurate core sees a small
+    // fraction of the horizon.
+    assert!(
+        est.measured_insts * 4 <= HORIZON,
+        "measured {} of {HORIZON} — sampling is not sampling",
+        est.measured_insts
+    );
+    assert!(est.fast_forwarded_insts > 0, "some of the horizon must be fast-forwarded");
+}
