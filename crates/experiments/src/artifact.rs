@@ -41,14 +41,23 @@ impl JsonValue {
         JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
-    /// Renders the value as compact JSON.
+    /// Renders the value as pretty-printed JSON (2-space indent, one
+    /// field per line — the `BENCH_*.json` layout).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, 0);
+        self.write(&mut out, 0, true);
         out
     }
 
-    fn write(&self, out: &mut String, indent: usize) {
+    /// Renders the value as compact single-line JSON — the journal's
+    /// line format and the digest base for per-record CRCs.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -70,10 +79,14 @@ impl JsonValue {
                     if i > 0 {
                         out.push(',');
                     }
-                    newline_indent(out, indent + 1);
-                    item.write(out, indent + 1);
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
+                    item.write(out, indent + 1, pretty);
                 }
-                newline_indent(out, indent);
+                if pretty {
+                    newline_indent(out, indent);
+                }
                 out.push(']');
             }
             JsonValue::Object(fields) => {
@@ -86,12 +99,16 @@ impl JsonValue {
                     if i > 0 {
                         out.push(',');
                     }
-                    newline_indent(out, indent + 1);
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
                     write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
+                    out.push_str(if pretty { ": " } else { ":" });
+                    v.write(out, indent + 1, pretty);
                 }
-                newline_indent(out, indent);
+                if pretty {
+                    newline_indent(out, indent);
+                }
                 out.push('}');
             }
         }
@@ -154,7 +171,7 @@ pub struct SamplingMeta {
 }
 
 impl SamplingMeta {
-    fn to_json(&self) -> JsonValue {
+    pub(crate) fn to_json(&self) -> JsonValue {
         let opt = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Float);
         JsonValue::obj(vec![
             ("windows", JsonValue::UInt(self.windows as u64)),
@@ -168,6 +185,53 @@ impl SamplingMeta {
             ("full_ipc", opt(self.full_ipc)),
             ("ipc_error", opt(self.ipc_error)),
         ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json), for journal replay.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or mistyped field.
+    pub(crate) fn from_json(v: &JsonValue) -> Result<SamplingMeta, String> {
+        let u = |k: &str| req_u64(v, k);
+        let f = |k: &str| req_f64(v, k);
+        Ok(SamplingMeta {
+            windows: u("windows")? as usize,
+            window_insts: u("window_insts")?,
+            warm_insts: u("warm_insts")?,
+            measured_insts: u("measured_insts")?,
+            warmed_insts: u("warmed_insts")?,
+            fast_forwarded_insts: u("fast_forwarded_insts")?,
+            horizon: u("horizon")?,
+            ipc_ci_half: f("ipc_ci_half")?,
+            full_ipc: opt_f64(v, "full_ipc")?,
+            ipc_error: opt_f64(v, "ipc_error")?,
+        })
+    }
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(JsonValue::as_u64).ok_or_else(|| format!("missing or non-integer '{key}'"))
+}
+
+fn req_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(JsonValue::as_f64).ok_or_else(|| format!("missing or non-number '{key}'"))
+}
+
+fn req_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string '{key}'"))
+}
+
+fn opt_f64(v: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Err(format!("missing '{key}'")),
+        Some(x) if x.is_null() => Ok(None),
+        Some(x) => {
+            x.as_f64().map(Some).ok_or_else(|| format!("non-number '{key}'"))
+        }
     }
 }
 
@@ -197,6 +261,9 @@ pub struct RunRecord {
     /// second (`committed / wall_s / 1e6`); 0 when the run took no
     /// measurable time.
     pub mips: f64,
+    /// Attempts this run took (1 = first try; >1 means the retry policy
+    /// re-ran a degraded run).
+    pub attempts: u64,
     /// The degradation message if the run failed, `None` if it ran clean.
     pub degraded: Option<String>,
     /// Sampling metadata when this run was estimated from detailed
@@ -205,7 +272,7 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
-    fn to_json(&self) -> JsonValue {
+    pub(crate) fn to_json(&self) -> JsonValue {
         JsonValue::obj(vec![
             ("workload", JsonValue::Str(self.workload.clone())),
             ("predictor", JsonValue::Str(self.predictor.clone())),
@@ -217,6 +284,7 @@ impl RunRecord {
             ("num_paths", JsonValue::UInt(self.num_paths)),
             ("wall_s", JsonValue::Float(self.wall_s)),
             ("mips", JsonValue::Float(self.mips)),
+            ("attempts", JsonValue::UInt(self.attempts)),
             (
                 "degraded",
                 match &self.degraded {
@@ -232,6 +300,43 @@ impl RunRecord {
                 },
             ),
         ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json): reconstructs the record a
+    /// journal `done` line embedded, so a resumed sweep can replay
+    /// completed runs without re-simulating them.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or mistyped field.
+    pub(crate) fn from_json(v: &JsonValue) -> Result<RunRecord, String> {
+        let degraded = match v.get("degraded") {
+            None => return Err("missing 'degraded'".to_string()),
+            Some(x) if x.is_null() => None,
+            Some(x) => Some(
+                x.as_str().map(str::to_string).ok_or_else(|| "non-string 'degraded'".to_string())?,
+            ),
+        };
+        let sampling = match v.get("sampling") {
+            None => return Err("missing 'sampling'".to_string()),
+            Some(x) if x.is_null() => None,
+            Some(x) => Some(SamplingMeta::from_json(x)?),
+        };
+        Ok(RunRecord {
+            workload: req_str(v, "workload")?,
+            predictor: req_str(v, "predictor")?,
+            ipc: req_f64(v, "ipc")?,
+            violation_mpki: req_f64(v, "violation_mpki")?,
+            false_dep_mpki: req_f64(v, "false_dep_mpki")?,
+            cycles: req_u64(v, "cycles")?,
+            committed: req_u64(v, "committed")?,
+            num_paths: req_u64(v, "num_paths")?,
+            wall_s: req_f64(v, "wall_s")?,
+            mips: req_f64(v, "mips")?,
+            attempts: req_u64(v, "attempts")?,
+            degraded,
+            sampling,
+        })
     }
 }
 
@@ -276,9 +381,9 @@ impl SweepArtifact {
         }
     }
 
-    /// Renders the artifact as JSON.
-    pub fn to_json(&self) -> String {
-        let mut out = JsonValue::obj(vec![
+    /// The artifact as a [`JsonValue`], *without* the `digest` field.
+    fn to_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
             ("id", JsonValue::Str(self.id.clone())),
             ("git", JsonValue::Str(self.git.clone())),
             ("workers", JsonValue::UInt(self.workers as u64)),
@@ -298,9 +403,63 @@ impl SweepArtifact {
                 JsonValue::Array(self.degraded.iter().cloned().map(JsonValue::Str).collect()),
             ),
         ])
-        .render();
+    }
+
+    /// Renders the artifact as JSON, sealed with a trailing `digest`
+    /// field: the CRC32 of the document rendered *without* that field.
+    /// [`verify_json`](Self::verify_json) checks it by reconstruction —
+    /// parse, drop `digest`, re-render, re-hash — which is exact because
+    /// the renderer/parser pair round-trips writer output byte-for-byte.
+    pub fn to_json(&self) -> String {
+        let mut v = self.to_value();
+        let digest = phast_sample::crc32(Self::digest_base(&v).as_bytes());
+        if let JsonValue::Object(fields) = &mut v {
+            fields.push(("digest".to_string(), JsonValue::Str(format!("crc32:{digest:08x}"))));
+        }
+        let mut out = v.render();
         out.push('\n');
         out
+    }
+
+    /// The exact byte string the `digest` field hashes: the pretty render
+    /// of the document without `digest`, plus the trailing newline.
+    fn digest_base(v: &JsonValue) -> String {
+        let mut s = v.render();
+        s.push('\n');
+        s
+    }
+
+    /// Verifies the integrity digest of a rendered artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Parse`] if `text` is not valid JSON,
+    /// [`ArtifactError::MissingDigest`] if it carries no `digest` field,
+    /// [`ArtifactError::DigestMismatch`] if the recomputed CRC32 differs —
+    /// the file was edited, truncated, or corrupted after it was written.
+    pub fn verify_json(text: &str) -> Result<(), ArtifactError> {
+        let mut v = crate::jsonio::parse(text).map_err(ArtifactError::Parse)?;
+        let digest = v.remove("digest");
+        let stored = match digest.as_ref().and_then(JsonValue::as_str) {
+            Some(s) => s.to_string(),
+            None => return Err(ArtifactError::MissingDigest),
+        };
+        let computed = format!("crc32:{:08x}", phast_sample::crc32(Self::digest_base(&v).as_bytes()));
+        if computed != stored {
+            return Err(ArtifactError::DigestMismatch { computed, stored });
+        }
+        Ok(())
+    }
+
+    /// [`verify_json`](Self::verify_json) over a file on disk.
+    ///
+    /// # Errors
+    ///
+    /// As for `verify_json`, plus [`ArtifactError::Io`].
+    pub fn verify_file(path: &Path) -> Result<(), ArtifactError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
+        Self::verify_json(&text)
     }
 
     /// The artifact's file name: `BENCH_<id>.json`.
@@ -321,6 +480,41 @@ impl SweepArtifact {
         Ok(path)
     }
 }
+
+/// Why a `BENCH_*.json` artifact failed integrity verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file could not be read.
+    Io(String),
+    /// The file is not valid JSON.
+    Parse(crate::jsonio::JsonParseError),
+    /// The file parses but carries no `digest` field (written by an older
+    /// build, or stripped) — fail closed rather than assume it is intact.
+    MissingDigest,
+    /// The recomputed digest differs from the stored one.
+    DigestMismatch {
+        /// Digest recomputed from the file contents.
+        computed: String,
+        /// Digest the file claims.
+        stored: String,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact unreadable: {e}"),
+            ArtifactError::Parse(e) => write!(f, "artifact is not valid JSON: {e}"),
+            ArtifactError::MissingDigest => write!(f, "artifact has no integrity digest"),
+            ArtifactError::DigestMismatch { computed, stored } => write!(
+                f,
+                "artifact integrity failure: recomputed {computed} != stored {stored}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
 
 /// `git describe --always --dirty` of the working tree, or `"unknown"`
 /// when git (or the repository) is unavailable.
@@ -350,6 +544,7 @@ mod tests {
             num_paths: 0,
             wall_s: 0.125,
             mips: 3250.0 / 0.125 / 1e6,
+            attempts: 1,
             degraded: None,
             sampling: None,
         }
@@ -478,5 +673,95 @@ mod tests {
     #[test]
     fn git_describe_never_panics() {
         assert!(!git_describe().is_empty());
+    }
+
+    fn artifact() -> SweepArtifact {
+        SweepArtifact {
+            id: "fig15".into(),
+            git: "abc1234".into(),
+            workers: 4,
+            budget_insts: 300_000,
+            budget_iters: 1_000_000,
+            workloads: 2,
+            wall_s: 1.5,
+            runs: vec![record("gcc_1"), record("mcf")],
+            degraded: vec![],
+        }
+    }
+
+    #[test]
+    fn digest_verifies_and_catches_corruption() {
+        let text = artifact().to_json();
+        assert!(text.contains("\"digest\": \"crc32:"), "{text}");
+        SweepArtifact::verify_json(&text).expect("freshly rendered artifact verifies");
+
+        // Any content edit breaks it.
+        let tampered = text.replace("\"workers\": 4", "\"workers\": 5");
+        assert!(matches!(
+            SweepArtifact::verify_json(&tampered),
+            Err(ArtifactError::DigestMismatch { .. })
+        ));
+
+        // A missing digest fails closed.
+        let mut v = crate::jsonio::parse(&text).unwrap();
+        v.remove("digest");
+        let stripped = v.render();
+        assert_eq!(SweepArtifact::verify_json(&stripped), Err(ArtifactError::MissingDigest));
+
+        // Garbage is a parse error, not a panic.
+        assert!(matches!(
+            SweepArtifact::verify_json("not json"),
+            Err(ArtifactError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn verify_file_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("phast-artifact-verify-test");
+        let path = artifact().write_to(&dir).expect("writes");
+        SweepArtifact::verify_file(&path).expect("on-disk artifact verifies");
+
+        // Flip one byte in the middle of the file: rejected.
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).expect("rewrites");
+        assert!(SweepArtifact::verify_file(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+
+        assert!(matches!(
+            SweepArtifact::verify_file(Path::new("/nonexistent/bench.json")),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn run_record_json_round_trips() {
+        let mut r = record("mcf");
+        r.attempts = 3;
+        r.degraded = Some("mcf × phast: deadlock".into());
+        r.sampling = Some(SamplingMeta {
+            windows: 8,
+            window_insts: 1_000,
+            warm_insts: 2_000,
+            measured_insts: 8_000,
+            warmed_insts: 16_000,
+            fast_forwarded_insts: 276_000,
+            horizon: 300_000,
+            ipc_ci_half: 0.04,
+            full_ipc: Some(3.2),
+            ipc_error: None,
+        });
+        for rec in [record("gcc_1"), r] {
+            let v = rec.to_json();
+            let text = v.render_compact();
+            let back = RunRecord::from_json(&crate::jsonio::parse(&text).unwrap())
+                .expect("record reconstructs");
+            assert_eq!(
+                back.to_json().render_compact(),
+                text,
+                "reconstructed record re-renders byte-identically"
+            );
+        }
     }
 }

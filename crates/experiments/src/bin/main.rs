@@ -14,11 +14,21 @@
 //! produce byte-identical reports. Unless `--no-json` is given, every
 //! experiment also drops a machine-readable `BENCH_<id>.json` artifact
 //! (per-run IPC/MPKI/wall-clock, worker count, budget, git describe) into
-//! the current directory or `--json-dir`.
+//! the current directory or `--json-dir`, plus a write-ahead
+//! `journal.jsonl` that `--resume` replays after a crash or kill — only
+//! the missing runs re-execute, and the merged artifact matches an
+//! uninterrupted sweep byte for byte (modulo wall-clock and attempt
+//! metadata). `--run-timeout` arms a per-run watchdog, `--retries` caps
+//! re-attempts, and the exit code distinguishes clean (0), degraded (1),
+//! usage (2), integrity (3) and deadline (4) outcomes; see
+//! docs/RESILIENCE.md.
 
 use phast_experiments::figures;
-use phast_experiments::{pool, Budget, PredictorKind, SampleConfig, Sweep};
+use phast_experiments::{
+    exit_code, pool, Budget, Journal, PredictorKind, SampleConfig, Sweep, SweepArtifact,
+};
 use std::path::PathBuf;
+use std::time::Duration;
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
@@ -52,11 +62,48 @@ fn run_experiment(id: &str, sweep: &Sweep, budget: &Budget) -> Option<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: phast-experiments [--quick] [--sampled] [--windows=N] [--warm=M] \
-         [--serial | --workers=N] [--json-dir=DIR | --no-json] <experiment>..."
+         [--serial | --workers=N] [--json-dir=DIR | --no-json] \
+         [--resume] [--run-timeout=SECS] [--retries=N] <experiment>..."
     );
     eprintln!("       phast-experiments --list-workloads | --list-predictors");
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
-    std::process::exit(2);
+    eprintln!("(--help for resilience flags and the exit-code taxonomy)");
+    std::process::exit(exit_code::USAGE);
+}
+
+fn help() {
+    println!(
+        "phast-experiments — regenerate any table or figure of the paper\n\
+         \n\
+         usage: phast-experiments [OPTIONS] <experiment>...\n\
+         \n\
+         budget / sampling:\n\
+         \x20 --quick             quick grid (smoke-test budget)\n\
+         \x20 --sampled           sampled-simulation horizon\n\
+         \x20 --windows=N         override the sampled window count\n\
+         \x20 --warm=M            override the per-window warm-up instructions\n\
+         \n\
+         execution:\n\
+         \x20 --serial            one worker (determinism reference)\n\
+         \x20 --workers=N         explicit worker count (default: all cores)\n\
+         \x20 --run-timeout=SECS  per-run watchdog; hung runs end as 'deadline'\n\
+         \x20 --retries=N         attempts per run before it is recorded degraded\n\
+         \n\
+         artifacts / crash resilience:\n\
+         \x20 --json-dir=DIR      where BENCH_<id>.json and journal.jsonl land\n\
+         \x20 --no-json           no artifacts, no journal\n\
+         \x20 --resume            replay completed runs from DIR/journal.jsonl and\n\
+         \x20                     execute only what is missing; the merged artifact\n\
+         \x20                     is byte-identical to an uninterrupted sweep\n\
+         \x20                     (modulo wall-clock and attempt metadata)\n\
+         \n\
+         exit codes:\n\
+         \x20 0  every run completed cleanly\n\
+         \x20 1  sweep finished but some runs are degraded (partial statistics)\n\
+         \x20 2  usage error (unknown flag/experiment, malformed value)\n\
+         \x20 3  integrity failure (corrupt journal, artifact digest mismatch)\n\
+         \x20 4  at least one run hit the --run-timeout deadline\n"
+    );
 }
 
 /// Parses the value of a `--flag=N` unsigned-integer option, exiting with
@@ -66,7 +113,7 @@ fn parse_count(flag: &str, raw: &str) -> u64 {
         Ok(n) if n >= 1 => n,
         _ => {
             eprintln!("error: {flag} expects a positive integer, got '{raw}'");
-            std::process::exit(2);
+            std::process::exit(exit_code::USAGE);
         }
     }
 }
@@ -104,6 +151,10 @@ fn list_predictors() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        help();
+        return;
+    }
     if args.iter().any(|a| a == "--list-workloads") {
         list_workloads();
         return;
@@ -116,10 +167,25 @@ fn main() {
     let sampled = args.iter().any(|a| a == "--sampled");
     let no_json = args.iter().any(|a| a == "--no-json");
     let serial = args.iter().any(|a| a == "--serial");
+    let resume = args.iter().any(|a| a == "--resume");
+    // `--run-timeout=0` is legal: the watchdog expires at the first poll,
+    // which is how CI smokes the deadline exit path without a slow run.
+    let run_timeout: Option<Duration> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--run-timeout="))
+        .map(|v| match v.trim().parse::<u64>() {
+            Ok(secs) => Duration::from_secs(secs),
+            Err(_) => {
+                eprintln!("error: --run-timeout expects a whole number of seconds, got '{v}'");
+                std::process::exit(exit_code::USAGE);
+            }
+        });
+    let retries: Option<u64> =
+        args.iter().find_map(|a| a.strip_prefix("--retries=")).map(|v| parse_count("--retries", v));
     let workers: Option<usize> = args.iter().find_map(|a| a.strip_prefix("--workers=")).map(|v| {
         pool::parse_workers(v).unwrap_or_else(|e| {
             eprintln!("error: --workers: {e}");
-            std::process::exit(2);
+            std::process::exit(exit_code::USAGE);
         })
     });
     let windows: Option<u64> =
@@ -167,7 +233,42 @@ fn main() {
         ids
     };
 
+    // The journal fingerprints the sweep *shape*: resuming under a
+    // different budget or sampling configuration must be refused up front
+    // (exit 3), never silently merged into a nonsense artifact.
+    let journal: Option<Journal> = if no_json {
+        None
+    } else {
+        let path = json_dir.join("journal.jsonl");
+        let fingerprint = format!(
+            "insts={} iters={} max_workloads={:?} sampling={:?}",
+            budget.insts, budget.workload_iters, budget.max_workloads, sampling
+        );
+        let opened = if resume {
+            Journal::resume(&path, &fingerprint)
+        } else {
+            Journal::create(&path, &fingerprint)
+        };
+        match opened {
+            Ok(j) => {
+                if resume {
+                    eprintln!(
+                        "resuming from {} ({} completed run(s) will be replayed)",
+                        j.path().display(),
+                        j.completed_runs()
+                    );
+                }
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("error: journal {}: {e}", path.display());
+                std::process::exit(exit_code::INTEGRITY);
+            }
+        }
+    };
+
     let mut all_degraded: Vec<String> = Vec::new();
+    let mut deadline_runs: usize = 0;
     for id in selected {
         // One sweep per experiment: its degraded-run registry and run log
         // are scoped to the experiment, so each BENCH_<id>.json describes
@@ -183,6 +284,15 @@ fn main() {
         if let Some(scfg) = sampling {
             sweep = sweep.with_sampling(scfg);
         }
+        if let Some(t) = run_timeout {
+            sweep = sweep.with_run_timeout(t);
+        }
+        if let Some(n) = retries {
+            sweep = sweep.with_retries(n);
+        }
+        if let Some(j) = &journal {
+            sweep = sweep.with_journal(j.scope(id));
+        }
         let start = std::time::Instant::now();
         match run_experiment(id, &sweep, &budget) {
             Some(out) => {
@@ -195,15 +305,25 @@ fn main() {
                 if !no_json {
                     let artifact = sweep.artifact(id, &budget, start.elapsed());
                     match artifact.write_to(&json_dir) {
-                        Ok(path) => eprintln!("wrote {}", path.display()),
+                        // Fail closed: re-read what actually landed on disk
+                        // and check its digest, so a torn or bit-flipped
+                        // artifact is caught here and not by a consumer.
+                        Ok(path) => match SweepArtifact::verify_file(&path) {
+                            Ok(()) => eprintln!("wrote {}", path.display()),
+                            Err(e) => {
+                                eprintln!("error: {} failed self-verification: {e}", path.display());
+                                std::process::exit(exit_code::INTEGRITY);
+                            }
+                        },
                         Err(e) => eprintln!("warning: could not write {}: {e}", artifact.file_name()),
                     }
                 }
                 all_degraded.extend(sweep.take_degraded());
+                deadline_runs += sweep.deadline_count();
             }
             None => {
                 eprintln!("unknown experiment '{id}'; known: {}", EXPERIMENTS.join(" "));
-                std::process::exit(2);
+                std::process::exit(exit_code::USAGE);
             }
         }
     }
@@ -216,6 +336,9 @@ fn main() {
         for d in &all_degraded {
             eprintln!("  - {d}");
         }
-        std::process::exit(1);
     }
+    if deadline_runs > 0 {
+        eprintln!("{deadline_runs} run(s) hit the --run-timeout deadline");
+    }
+    std::process::exit(exit_code::for_outcome(!all_degraded.is_empty(), deadline_runs > 0));
 }

@@ -23,17 +23,89 @@
 //! and [`Budget::bench`] (the Criterion benches in `phast-bench`).
 
 use crate::artifact::{git_describe, RunRecord, SamplingMeta, SweepArtifact};
-use crate::pool;
+use crate::journal::{CompletedRun, JournalScope};
+use crate::pool::{self, JobPanic};
 use crate::predictors::PredictorKind;
 use phast_isa::Program;
 use phast_mdp::MemDepPredictor;
-use phast_ooo::{try_simulate, CoreConfig, SimError, SimStats};
+use phast_ooo::{try_simulate_within, CoreConfig, Deadline, SimError, SimStats};
 use phast_sample::{
-    capture, estimate, run_window, sum_window_stats, CheckpointSet, SampleConfig, WindowRun,
+    capture, estimate, run_window_within, sum_window_stats, CheckpointSet, SampleConfig, WindowRun,
 };
 use phast_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Process exit codes of the experiment binary — the machine-readable
+/// summary of how resilient execution went. Documented in `--help` and
+/// `docs/RESILIENCE.md`.
+pub mod exit_code {
+    /// Every run completed cleanly.
+    pub const OK: i32 = 0;
+    /// The sweep completed, but at least one run degraded (simulation
+    /// error or panic) — results are present but partial.
+    pub const DEGRADED: i32 = 1;
+    /// Bad command line.
+    pub const USAGE: i32 = 2;
+    /// An artifact or journal failed integrity verification — outputs
+    /// must not be trusted.
+    pub const INTEGRITY: i32 = 3;
+    /// At least one run was cut off by its wall-clock watchdog.
+    pub const DEADLINE: i32 = 4;
+
+    /// The exit code for a sweep that *completed*: deadline overruns
+    /// outrank plain degradation (a hang is operationally worse than a
+    /// caught simulation error), integrity failures are raised at the
+    /// point of detection and never reach here.
+    pub fn for_outcome(degraded: bool, deadline: bool) -> i32 {
+        if deadline {
+            DEADLINE
+        } else if degraded {
+            DEGRADED
+        } else {
+            OK
+        }
+    }
+}
+
+/// Why a run failed: a structured simulation error, or a panic caught at
+/// the job boundary. Both degrade the run — recorded, reported, never
+/// aborting the sweep.
+#[derive(Clone, Debug)]
+pub enum RunFailure {
+    /// The simulator returned a structured error.
+    Sim(SimError),
+    /// The job panicked; the payload message survives.
+    Panicked(String),
+}
+
+impl RunFailure {
+    /// Stable failure-kind tag: [`SimError::kind`] for simulation errors,
+    /// `"panicked"` for caught panics. This is the `status` a journal
+    /// `done` line carries for a failed run.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunFailure::Sim(e) => e.kind(),
+            RunFailure::Panicked(_) => "panicked",
+        }
+    }
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Sim(e) => e.fmt(f),
+            RunFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl From<SimError> for RunFailure {
+    fn from(e: SimError) -> RunFailure {
+        RunFailure::Sim(e)
+    }
+}
 
 /// How much work an experiment may do. The binary runs at
 /// [`Budget::full`]; tests and CI use [`Budget::quick`]; the Criterion
@@ -106,13 +178,21 @@ pub struct RunResult {
     pub stats: SimStats,
     /// Paths tracked by unlimited predictors (0 for table-based ones).
     pub num_paths: u64,
-    /// The error that ended the run early, if it could not finish cleanly.
-    pub failure: Option<SimError>,
+    /// The failure that ended the run early, if it could not finish
+    /// cleanly.
+    pub failure: Option<RunFailure>,
     /// Host wall-clock time the simulation took.
     pub wall: Duration,
+    /// Attempts this run took (1 = first try succeeded or no retry
+    /// policy; >1 = the retry policy re-ran it).
+    pub attempts: u64,
     /// Sampling metadata when the statistics were estimated from detailed
     /// windows (`None` for a full-detail run).
     pub sampling: Option<SamplingMeta>,
+    /// When this result was replayed from a resume journal rather than
+    /// simulated, the journaled record to emit verbatim — so a resumed
+    /// sweep's artifact is byte-identical to an uninterrupted one.
+    pub(crate) replay: Option<RunRecord>,
 }
 
 impl RunResult {
@@ -142,6 +222,7 @@ impl RunResult {
                 let wall_s = self.wall.as_secs_f64();
                 if wall_s > 0.0 { self.stats.committed as f64 / wall_s / 1e6 } else { 0.0 }
             },
+            attempts: self.attempts,
             degraded: self.degraded_entry(),
             sampling: self.sampling.clone(),
         }
@@ -163,10 +244,25 @@ pub fn simulate_run(
     predictor: &mut dyn MemDepPredictor,
     insts: u64,
 ) -> RunResult {
+    simulate_run_within(workload, label, program, cfg, predictor, insts, &Deadline::none())
+}
+
+/// [`simulate_run`] under a cooperative [`Deadline`] watchdog: a run
+/// whose wall-clock budget elapses degrades with `SimError::Deadline`
+/// instead of hanging its worker thread.
+pub fn simulate_run_within(
+    workload: &str,
+    label: &str,
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    insts: u64,
+    deadline: &Deadline,
+) -> RunResult {
     let start = Instant::now();
-    let (stats, failure) = match try_simulate(program, cfg, predictor, insts) {
+    let (stats, failure) = match try_simulate_within(program, cfg, predictor, insts, deadline) {
         Ok(stats) => (stats, None),
-        Err(e) => (e.partial_stats().clone(), Some(e)),
+        Err(e) => (e.partial_stats().clone(), Some(RunFailure::Sim(e))),
     };
     RunResult {
         workload: workload.to_string(),
@@ -175,24 +271,109 @@ pub fn simulate_run(
         num_paths: predictor.num_paths(),
         failure,
         wall: start.elapsed(),
+        attempts: 1,
         sampling: None,
+        replay: None,
+    }
+}
+
+/// A degraded [`RunResult`] for a job whose panic was caught at the pool
+/// boundary: empty statistics, failure [`RunFailure::Panicked`].
+fn panicked_result(workload: &str, label: &str, panic: JobPanic) -> RunResult {
+    RunResult {
+        workload: workload.to_string(),
+        predictor: label.to_string(),
+        stats: SimStats::default(),
+        num_paths: 0,
+        failure: Some(RunFailure::Panicked(panic.message)),
+        wall: Duration::ZERO,
+        attempts: 1,
+        sampling: None,
+        replay: None,
+    }
+}
+
+#[allow(clippy::field_reassign_with_default)] // only four fields are recoverable
+/// Reconstructs a [`RunResult`] from a journaled completed run, for
+/// resume: the embedded record is carried verbatim (so the artifact is
+/// byte-identical to an uninterrupted sweep's), and the statistics the
+/// figures consume are inverted from the record exactly — `ipc`,
+/// `violation_mpki` and `false_dep_mpki` recompute to the identical
+/// values because they were derived from these integers in the first
+/// place.
+fn replayed_result(done: CompletedRun) -> RunResult {
+    let r = &done.record;
+    let per_kilo_inverse =
+        |mpki: f64| -> u64 { (mpki * r.committed as f64 / 1000.0).round() as u64 };
+    let mut stats = SimStats::default();
+    stats.cycles = r.cycles;
+    stats.committed = r.committed;
+    stats.violations = per_kilo_inverse(r.violation_mpki);
+    stats.false_dependences = per_kilo_inverse(r.false_dep_mpki);
+    RunResult {
+        workload: r.workload.clone(),
+        predictor: r.predictor.clone(),
+        stats,
+        num_paths: r.num_paths,
+        failure: None,
+        wall: Duration::from_secs_f64(r.wall_s.max(0.0)),
+        attempts: done.attempts,
+        sampling: r.sampling.clone(),
+        replay: Some(done.record),
     }
 }
 
 /// Builds and simulates one (workload, predictor kind) pair without
-/// touching any registry — the unit of work the pool distributes.
-fn execute_one(
+/// touching any registry — the unit of work the pool distributes,
+/// under a cooperative deadline ([`Deadline::none`] disarms it).
+fn execute_one_within(
     workload: &Workload,
     kind: &PredictorKind,
     cfg: &CoreConfig,
     budget: &Budget,
+    deadline: &Deadline,
 ) -> RunResult {
     let program = workload.build(budget.workload_iters);
     let mut core_cfg = cfg.clone();
     core_cfg.train_point = kind.train_point();
     let mut predictor = kind.build(&program, budget.insts);
-    simulate_run(workload.name, &kind.label(), &program, &core_cfg, predictor.as_mut(), budget.insts)
+    simulate_run_within(
+        workload.name,
+        &kind.label(),
+        &program,
+        &core_cfg,
+        predictor.as_mut(),
+        budget.insts,
+        deadline,
+    )
 }
+
+/// The journal key of one sweep cell. Workload and predictor label alone
+/// do not identify a run — Fig. 2 sweeps core generations and Fig. 12
+/// re-runs pairs under a different forwarding filter — so the key also
+/// carries a fingerprint of the core configuration (CRC32 of its `Debug`
+/// form, which is deterministic), the instruction budget, and the
+/// sampling shape when in sampled mode.
+fn cell_key(
+    workload: &str,
+    label: &str,
+    cfg: &CoreConfig,
+    budget: &Budget,
+    sampling: Option<&SampleConfig>,
+) -> String {
+    let cfg_fp = phast_sample::crc32(format!("{cfg:?}").as_bytes());
+    let mut key = format!("{workload}|{label}|{cfg_fp:08x}|{}", budget.insts);
+    if let Some(s) = sampling {
+        key.push_str(&format!("|s{}:{}:{}", s.windows, s.warm_insts, s.window_insts));
+    }
+    key
+}
+
+/// The additive reseeding constant for retried fault-injected runs
+/// (the 64-bit golden ratio, scaled per attempt) — retries explore a
+/// different fault schedule rather than deterministically replaying the
+/// same injected failure.
+const RESEED_GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Assembles the per-window runs of one (workload, predictor) cell into a
 /// [`RunResult`]: statistics are the window sums (so the cell's IPC is
@@ -208,7 +389,7 @@ fn assemble_sampled(
     let num_paths = windows.iter().map(|(_, p, _)| *p).max().unwrap_or(0);
     let wall = capture_wall + windows.iter().map(|(_, _, d)| *d).sum::<Duration>();
     let runs: Vec<WindowRun> = windows.into_iter().map(|(r, _, _)| r).collect();
-    let failure = runs.iter().find_map(|r| r.failure.clone());
+    let failure = runs.iter().find_map(|r| r.failure.clone().map(RunFailure::Sim));
     let est = estimate(set, &runs);
     RunResult {
         workload: workload.to_string(),
@@ -229,6 +410,8 @@ fn assemble_sampled(
             full_ipc: None,
             ipc_error: None,
         }),
+        attempts: 1,
+        replay: None,
     }
 }
 
@@ -253,7 +436,8 @@ pub(crate) fn execute_sampled(
         .map(|j| {
             let t = Instant::now();
             let mut predictor = kind.build(&program, budget.insts);
-            let run = run_window(&program, &core_cfg, predictor.as_mut(), &set, j);
+            let run =
+                run_window_within(&program, &core_cfg, predictor.as_mut(), &set, j, &Deadline::none());
             (run, predictor.num_paths(), t.elapsed())
         })
         .collect();
@@ -273,12 +457,56 @@ pub struct Sweep {
     sampling: Option<SampleConfig>,
     degraded: Mutex<Vec<String>>,
     records: Mutex<Vec<RunRecord>>,
+    run_timeout: Option<Duration>,
+    max_attempts: u64,
+    journal: Option<JournalScope>,
+    deadline_runs: AtomicUsize,
 }
 
 impl Sweep {
     /// A sweep with an explicit worker count (clamped to at least 1).
     pub fn with_workers(workers: usize) -> Sweep {
         Sweep { workers: workers.max(1), ..Sweep::default() }
+    }
+
+    /// Arms a per-run wall-clock watchdog: any single run (or sampled
+    /// window) exceeding `timeout` is cut off cooperatively and degrades
+    /// with `SimError::Deadline` instead of hanging its worker thread.
+    pub fn with_run_timeout(mut self, timeout: Duration) -> Sweep {
+        self.run_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables the retry policy: a run that fails is re-executed up to
+    /// `max_attempts` total attempts. Fault-injected runs are reseeded
+    /// per attempt so a retry explores a different fault schedule; a
+    /// deterministic failure simply fails `max_attempts` times and
+    /// degrades with its final error.
+    pub fn with_retries(mut self, max_attempts: u64) -> Sweep {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Attaches a run journal scope: every cell logs `start`/`done`
+    /// lines write-ahead, and cells the journal already holds as `ok`
+    /// are replayed from their journaled records instead of re-simulated.
+    pub fn with_journal(mut self, scope: JournalScope) -> Sweep {
+        self.journal = Some(scope);
+        self
+    }
+
+    /// Runs cut off by the wall-clock watchdog so far (feeds the
+    /// process exit-code taxonomy).
+    pub fn deadline_count(&self) -> usize {
+        self.deadline_runs.load(Ordering::Relaxed)
+    }
+
+    /// A fresh per-run deadline from this sweep's watchdog setting.
+    fn deadline(&self) -> Deadline {
+        match self.run_timeout {
+            Some(t) => Deadline::after(t),
+            None => Deadline::none(),
+        }
     }
 
     /// Switches this sweep to sampled mode: the run methods
@@ -328,10 +556,13 @@ impl Sweep {
     }
 
     /// Records results in the order given: degraded runs go to this
-    /// sweep's registry (and stderr), every run goes to the artifact log.
-    /// The [`Sweep`] run methods call this internally; call it yourself
-    /// only after producing [`RunResult`]s via [`simulate_run`] in a
-    /// custom [`Sweep::map`].
+    /// sweep's registry (and stderr), every run goes to the artifact log
+    /// — results replayed from a resume journal emit their journaled
+    /// record verbatim, so the artifact is byte-identical to an
+    /// uninterrupted sweep's. Deadline-cut runs bump the counter behind
+    /// [`Sweep::deadline_count`]. The [`Sweep`] run methods call this
+    /// internally; call it yourself only after producing [`RunResult`]s
+    /// via [`simulate_run`] in a custom [`Sweep::map`].
     pub fn record_all(&self, runs: &[RunResult]) {
         let mut degraded = self.degraded.lock().expect("degraded-run registry");
         let mut records = self.records.lock().expect("run log");
@@ -340,8 +571,92 @@ impl Sweep {
                 eprintln!("warning: degraded run — {entry}");
                 degraded.push(entry);
             }
-            records.push(run.to_record());
+            if run.failure.as_ref().is_some_and(|f| f.kind() == "deadline") {
+                self.deadline_runs.fetch_add(1, Ordering::Relaxed);
+            }
+            match &run.replay {
+                Some(record) => records.push(record.clone()),
+                None => records.push(run.to_record()),
+            }
         }
+    }
+
+    /// Executes one full-detail cell with the resilience machinery:
+    /// journal replay (a cell the journal holds as `ok` is not
+    /// re-simulated), write-ahead `start`/`done` logging, panic
+    /// isolation, the per-run deadline watchdog, and the capped retry
+    /// policy with per-attempt fault reseeding.
+    fn execute_cell(
+        &self,
+        workload: &Workload,
+        kind: &PredictorKind,
+        cfg: &CoreConfig,
+        budget: &Budget,
+    ) -> RunResult {
+        let key = cell_key(workload.name, &kind.label(), cfg, budget, None);
+        if let Some(done) = self.journal.as_ref().and_then(|j| j.lookup(&key)) {
+            return replayed_result(done);
+        }
+        let max_attempts = self.max_attempts.max(1);
+        let mut attempt = 0u64;
+        loop {
+            attempt += 1;
+            let mut cfg_attempt = cfg.clone();
+            if attempt > 1 {
+                if let Some(f) = &mut cfg_attempt.check.faults {
+                    f.seed ^= RESEED_GOLDEN.wrapping_mul(attempt);
+                }
+            }
+            let seed = cfg_attempt.check.faults.as_ref().map_or(0, |f| f.seed);
+            if let Some(j) = &self.journal {
+                j.log_start(&key, attempt, seed);
+            }
+            let deadline = self.deadline();
+            let mut run = match pool::catch_job(|| {
+                execute_one_within(workload, kind, &cfg_attempt, budget, &deadline)
+            }) {
+                Ok(run) => run,
+                Err(p) => panicked_result(workload.name, &kind.label(), p),
+            };
+            run.attempts = attempt;
+            if run.ok() || attempt >= max_attempts {
+                if let Some(j) = &self.journal {
+                    let status = run.failure.as_ref().map_or("ok", RunFailure::kind);
+                    j.log_done(&key, &run.to_record(), status, attempt);
+                }
+                return run;
+            }
+        }
+    }
+
+    /// Fans arbitrary run-producing jobs across the pool with **panic
+    /// isolation** and records every result: a job that panics yields a
+    /// degraded [`RunResult`] (failure kind `"panicked"`, labelled via
+    /// `label`) while every other job completes normally. This is the
+    /// resilient counterpart of [`Sweep::map`] + [`Sweep::record_all`]
+    /// for custom work that is not a plain (workload, predictor) cell.
+    pub fn run_jobs<T>(
+        &self,
+        items: &[T],
+        label: impl Fn(usize, &T) -> (String, String) + Sync,
+        exec: impl Fn(usize, &T) -> RunResult + Sync,
+    ) -> Vec<RunResult>
+    where
+        T: Sync,
+    {
+        let runs: Vec<RunResult> = pool::run_matrix_isolated(self.workers, items, &exec)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(run) => run,
+                Err(p) => {
+                    let (workload, predictor) = label(i, &items[i]);
+                    panicked_result(&workload, &predictor, p)
+                }
+            })
+            .collect();
+        self.record_all(&runs);
+        runs
     }
 
     /// Runs an already-built predictor on an already-built program and
@@ -370,7 +685,7 @@ impl Sweep {
     ) -> RunResult {
         let run = match &self.sampling {
             Some(scfg) => execute_sampled(workload, kind, cfg, budget, scfg),
-            None => execute_one(workload, kind, cfg, budget),
+            None => self.execute_cell(workload, kind, cfg, budget),
         };
         self.record_all(std::slice::from_ref(&run));
         run
@@ -386,7 +701,7 @@ impl Sweep {
                 .expect("one row per kind");
         }
         let workloads = budget.workloads();
-        let runs = self.map(&workloads, |_, w| execute_one(w, kind, cfg, budget));
+        let runs = self.map(&workloads, |_, w| self.execute_cell(w, kind, cfg, budget));
         self.record_all(&runs);
         runs
     }
@@ -410,7 +725,7 @@ impl Sweep {
             .flat_map(|k| (0..workloads.len()).map(move |w| (k, w)))
             .collect();
         let flat =
-            self.map(&cells, |_, &(k, w)| execute_one(&workloads[w], &kinds[k], cfg, budget));
+            self.map(&cells, |_, &(k, w)| self.execute_cell(&workloads[w], &kinds[k], cfg, budget));
         self.record_all(&flat);
         let mut rows: Vec<Vec<RunResult>> = Vec::with_capacity(kinds.len());
         let mut flat = flat.into_iter();
@@ -451,40 +766,113 @@ impl Sweep {
         scfg: SampleConfig,
     ) -> Vec<Vec<RunResult>> {
         let workloads = budget.workloads();
-        let captures: Vec<(Program, CheckpointSet, Duration)> = self.map(&workloads, |_, w| {
-            let t = Instant::now();
-            let program = w.build(budget.workload_iters);
-            let set =
-                capture(&program, cfg, &scfg, budget.insts).expect("workloads emulate cleanly");
-            let wall = t.elapsed();
-            (program, set, wall)
-        });
+        // Journal replay at cell granularity: a (kind, workload) cell the
+        // journal holds as `ok` is emitted verbatim; a workload none of
+        // whose cells are live skips its capture pass entirely.
+        let replays: Vec<Vec<Option<CompletedRun>>> = kinds
+            .iter()
+            .map(|kind| {
+                workloads
+                    .iter()
+                    .map(|w| {
+                        self.journal.as_ref().and_then(|j| {
+                            j.lookup(&cell_key(w.name, &kind.label(), cfg, budget, Some(&scfg)))
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let live: Vec<bool> = (0..workloads.len())
+            .map(|w| (0..kinds.len()).any(|k| replays[k][w].is_none()))
+            .collect();
+        let capture_idx: Vec<usize> = (0..workloads.len()).collect();
+        let captures: Vec<Option<(Program, CheckpointSet, Duration)>> =
+            self.map(&capture_idx, |_, &w| {
+                if !live[w] {
+                    return None;
+                }
+                let t = Instant::now();
+                let program = workloads[w].build(budget.workload_iters);
+                let set = capture(&program, cfg, &scfg, budget.insts)
+                    .expect("workloads emulate cleanly");
+                let wall = t.elapsed();
+                Some((program, set, wall))
+            });
         let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
-        for k in 0..kinds.len() {
-            for (w, (_, set, _)) in captures.iter().enumerate() {
+        for (k, kind) in kinds.iter().enumerate() {
+            for (w, capture) in captures.iter().enumerate() {
+                if replays[k][w].is_some() {
+                    continue;
+                }
+                let set = &capture.as_ref().expect("live workload was captured").1;
+                // Write-ahead: the start line lands before the cell's
+                // windows enter the pool.
+                if let Some(j) = &self.journal {
+                    j.log_start(
+                        &cell_key(workloads[w].name, &kind.label(), cfg, budget, Some(&scfg)),
+                        1,
+                        0,
+                    );
+                }
                 for j in 0..set.checkpoints.len() {
                     tasks.push((k, w, j));
                 }
             }
         }
+        // Windows run under panic isolation and a per-window deadline: a
+        // single poisoned or hung window degrades its cell, not the grid.
         let flat = self.map(&tasks, |_, &(k, w, j)| {
-            let (program, set, _) = &captures[w];
-            let t = Instant::now();
-            let mut core_cfg = cfg.clone();
-            core_cfg.train_point = kinds[k].train_point();
-            let mut predictor = kinds[k].build(program, budget.insts);
-            let run = run_window(program, &core_cfg, predictor.as_mut(), set, j);
-            (run, predictor.num_paths(), t.elapsed())
+            pool::catch_job(|| {
+                let (program, set, _) = captures[w].as_ref().expect("live workload was captured");
+                let t = Instant::now();
+                let mut core_cfg = cfg.clone();
+                core_cfg.train_point = kinds[k].train_point();
+                let mut predictor = kinds[k].build(program, budget.insts);
+                let deadline = self.deadline();
+                let run = run_window_within(program, &core_cfg, predictor.as_mut(), set, j, &deadline);
+                (run, predictor.num_paths(), t.elapsed())
+            })
         });
         let mut flat = flat.into_iter();
         let mut rows: Vec<Vec<RunResult>> = Vec::with_capacity(kinds.len());
         for (k, kind) in kinds.iter().enumerate() {
             let mut row = Vec::with_capacity(workloads.len());
             for (w, workload) in workloads.iter().enumerate() {
-                let (_, set, capture_wall) = &captures[w];
-                let windows: Vec<_> = flat.by_ref().take(set.checkpoints.len()).collect();
-                let capture_share = if k == 0 { *capture_wall } else { Duration::ZERO };
-                row.push(assemble_sampled(workload.name, &kind.label(), set, windows, capture_share));
+                if let Some(done) = &replays[k][w] {
+                    row.push(replayed_result(done.clone()));
+                    continue;
+                }
+                let (_, set, capture_wall) =
+                    captures[w].as_ref().expect("live workload was captured");
+                let n = set.checkpoints.len();
+                let mut windows = Vec::with_capacity(n);
+                let mut panic: Option<JobPanic> = None;
+                for r in flat.by_ref().take(n) {
+                    match r {
+                        Ok(win) => windows.push(win),
+                        Err(p) => panic = Some(p),
+                    }
+                }
+                let first_live = (0..kinds.len()).find(|&kk| replays[kk][w].is_none());
+                let capture_share =
+                    if first_live == Some(k) { *capture_wall } else { Duration::ZERO };
+                let mut cell = match panic {
+                    Some(p) => panicked_result(workload.name, &kind.label(), p),
+                    None => {
+                        assemble_sampled(workload.name, &kind.label(), set, windows, capture_share)
+                    }
+                };
+                cell.attempts = 1;
+                if let Some(jn) = &self.journal {
+                    let status = cell.failure.as_ref().map_or("ok", RunFailure::kind);
+                    jn.log_done(
+                        &cell_key(workload.name, &kind.label(), cfg, budget, Some(&scfg)),
+                        &cell.to_record(),
+                        status,
+                        1,
+                    );
+                }
+                row.push(cell);
             }
             rows.push(row);
         }

@@ -31,11 +31,14 @@ pub mod ablations;
 pub mod artifact;
 pub mod figures;
 pub mod harness;
+pub mod journal;
+pub mod jsonio;
 pub mod pool;
 pub mod predictors;
 pub mod tablefmt;
 
-pub use artifact::{SamplingMeta, SweepArtifact};
-pub use harness::{geomean, Budget, RunResult, Sweep};
+pub use artifact::{ArtifactError, SamplingMeta, SweepArtifact};
+pub use harness::{exit_code, geomean, Budget, RunFailure, RunResult, Sweep};
+pub use journal::{CompletedRun, Journal, JournalError, JournalScope};
 pub use phast_sample::SampleConfig;
 pub use predictors::PredictorKind;

@@ -14,6 +14,7 @@
 //! each slot is locked exactly once).
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -89,6 +90,65 @@ where
         .collect()
 }
 
+/// A panic caught at a job boundary, reduced to its payload message.
+///
+/// The sweep engine treats a panicking run like any other degraded run: it
+/// is recorded, reported, and *does not* take the rest of the matrix down
+/// with it. The backtrace (if any) has already been printed by the default
+/// panic hook; what survives here is the payload, for the degraded-run
+/// registry and the journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case); `"<non-string panic payload>"` otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+/// Runs `f` with panics caught and converted to [`JobPanic`].
+///
+/// The `AssertUnwindSafe` is sound for sweep jobs: each job owns its
+/// program, predictor and core outright, and on panic the job's result is
+/// discarded wholesale — no partially mutated state is observed afterward.
+///
+/// # Errors
+///
+/// [`JobPanic`] if `f` panicked.
+pub fn catch_job<R>(f: impl FnOnce() -> R) -> Result<R, JobPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        JobPanic { message }
+    })
+}
+
+/// [`run_matrix`] with per-job panic isolation: each slot holds
+/// `Ok(result)` or `Err(JobPanic)` and a panicking job never unwinds
+/// through the pool — every other task still runs, and results still
+/// arrive in task order.
+pub fn run_matrix_isolated<T, R, F>(
+    workers: usize,
+    tasks: &[T],
+    run: F,
+) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_matrix(workers, tasks, |i, t| catch_job(|| run(i, t)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +193,35 @@ mod tests {
     fn parse_workers_accepts_positive_integers() {
         assert_eq!(parse_workers("1"), Ok(1));
         assert_eq!(parse_workers(" 16 "), Ok(16));
+    }
+
+    #[test]
+    fn isolated_matrix_survives_panicking_jobs() {
+        let tasks: Vec<usize> = (0..40).collect();
+        for workers in [1, 4, 40] {
+            let out = run_matrix_isolated(workers, &tasks, |_, &t| {
+                assert!(t % 7 != 3, "task {t} exploded");
+                t * 2
+            });
+            assert_eq!(out.len(), 40, "{workers} workers: every slot filled");
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let p = r.as_ref().expect_err("panicking slot is Err");
+                    assert!(p.message.contains("exploded"), "payload preserved: {p}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 2), "clean slot unaffected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_job_preserves_string_payloads() {
+        assert_eq!(catch_job(|| 7), Ok(7));
+        let p = catch_job(|| -> u32 { panic!("boom {}", 42) }).unwrap_err();
+        assert_eq!(p.message, "boom 42");
+        let p = catch_job(|| -> u32 { std::panic::panic_any(9u8) }).unwrap_err();
+        assert_eq!(p.message, "<non-string panic payload>");
     }
 
     #[test]

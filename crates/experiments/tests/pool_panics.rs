@@ -1,0 +1,106 @@
+//! Panic isolation and watchdog contract of the sweep engine: a job that
+//! panics or hangs degrades *its own* cell — with kind `"panicked"` or
+//! `"deadline"` in the registry — and every other cell of the matrix
+//! still completes with results identical to an undisturbed sweep.
+
+use phast_experiments::harness::simulate_run;
+use phast_experiments::{exit_code, Budget, PredictorKind, RunResult, Sweep};
+use phast_ooo::CoreConfig;
+use std::time::Duration;
+
+fn budget() -> Budget {
+    Budget { insts: 5_000, workload_iters: 30_000, max_workloads: Some(3) }
+}
+
+/// One clean full-detail run of workload `w` under the Blind predictor.
+fn clean_run(w: usize, budget: &Budget) -> RunResult {
+    let workload = budget.workloads()[w];
+    let cfg = CoreConfig::alder_lake();
+    let program = workload.build(budget.workload_iters);
+    let mut predictor = PredictorKind::Blind.build(&program, budget.insts);
+    simulate_run(workload.name, "blind", &program, &cfg, predictor.as_mut(), budget.insts)
+}
+
+#[test]
+fn panicking_jobs_never_abort_the_sweep() {
+    let budget = budget();
+    let items: Vec<usize> = (0..6).collect();
+    let exploding = |i: usize| i % 3 == 1;
+
+    for workers in [1, 4] {
+        let sweep = Sweep::with_workers(workers);
+        let runs = sweep.run_jobs(
+            &items,
+            |_, &i| (format!("job{i}"), "blind".to_string()),
+            |_, &i| {
+                assert!(!exploding(i), "job {i} exploded");
+                clean_run(i % 3, &budget)
+            },
+        );
+        assert_eq!(runs.len(), items.len(), "every slot filled at {workers} workers");
+
+        for (i, run) in runs.iter().enumerate() {
+            if exploding(i) {
+                let failure = run.failure.as_ref().expect("panicking job is degraded");
+                assert_eq!(failure.kind(), "panicked");
+                assert!(
+                    failure.to_string().contains(&format!("job {i} exploded")),
+                    "payload survives: {failure}"
+                );
+                assert_eq!(run.workload, format!("job{i}"));
+            } else {
+                // Clean neighbours are bit-identical to an undisturbed run.
+                let reference = clean_run(i % 3, &budget);
+                assert!(run.failure.is_none(), "clean job {i} unaffected");
+                assert_eq!(run.stats.ipc().to_bits(), reference.stats.ipc().to_bits());
+                assert_eq!(run.stats.cycles, reference.stats.cycles);
+                assert_eq!(run.stats.committed, reference.stats.committed);
+            }
+        }
+
+        let degraded = sweep.take_degraded();
+        assert_eq!(degraded.len(), 2, "exactly the exploding jobs degrade");
+        for d in &degraded {
+            assert!(d.contains("panicked"), "registry names the panic: {d}");
+        }
+    }
+}
+
+#[test]
+fn expired_watchdog_degrades_the_run_as_deadline() {
+    let budget = budget();
+    let workload = budget.workloads()[0];
+    let sweep = Sweep::serial().with_run_timeout(Duration::ZERO);
+
+    let run = sweep.run_one(&workload, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
+    let failure = run.failure.as_ref().expect("zero budget expires immediately");
+    assert_eq!(failure.kind(), "deadline");
+    assert_eq!(sweep.deadline_count(), 1, "watchdog expiry is counted");
+    assert_eq!(sweep.take_degraded().len(), 1);
+
+    // The process-level taxonomy: deadline outranks plain degradation.
+    assert_eq!(exit_code::for_outcome(true, true), exit_code::DEADLINE);
+    assert_eq!(exit_code::for_outcome(true, false), exit_code::DEGRADED);
+    assert_eq!(exit_code::for_outcome(false, false), exit_code::OK);
+}
+
+#[test]
+fn retry_policy_caps_attempts_and_keeps_clean_runs_single_shot() {
+    let budget = budget();
+    let workload = budget.workloads()[0];
+
+    // A clean run never burns extra attempts, however many are allowed.
+    let sweep = Sweep::serial().with_retries(3);
+    let run = sweep.run_one(&workload, &PredictorKind::Blind, &CoreConfig::alder_lake(), &budget);
+    assert!(run.failure.is_none());
+    assert_eq!(run.attempts, 1, "first attempt succeeded, no retries spent");
+
+    // A deterministically failing run exhausts exactly the cap.
+    let mut poisoned = CoreConfig::alder_lake();
+    poisoned.deadlock_cycles = 2;
+    let sweep = Sweep::serial().with_retries(2);
+    let run = sweep.run_one(&workload, &PredictorKind::Blind, &poisoned, &budget);
+    assert!(run.failure.is_some(), "poisoned config still fails");
+    assert_eq!(run.attempts, 2, "capped at --retries attempts");
+    assert_eq!(sweep.take_degraded().len(), 1, "recorded once, not once per attempt");
+}

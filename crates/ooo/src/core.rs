@@ -18,6 +18,7 @@
 
 use crate::check::{CommitChecker, FaultInjector};
 use crate::config::{CoreConfig, IndirectPredictorKind, MemSquashPolicy, TrainPoint};
+use crate::deadline::Deadline;
 use crate::error::{HeadUop, PipelineSnapshot, SimError};
 use crate::stats::SimStats;
 use phast_branch::{
@@ -455,7 +456,34 @@ impl<'a> Core<'a> {
     /// when enabled by [`CoreConfig::check`] — on the first lockstep
     /// divergence from the reference emulator or failed invariant audit.
     pub fn try_run(&mut self, max_insts: u64, max_cycles: u64) -> Result<SimStats, SimError> {
+        self.try_run_within(max_insts, max_cycles, &Deadline::none())
+    }
+
+    /// Like [`Core::try_run`], but also polls a cooperative [`Deadline`]
+    /// token on the cycle-ceiling path — once every
+    /// [`DEADLINE_CHECK_INTERVAL`](crate::DEADLINE_CHECK_INTERVAL) cycles,
+    /// so the steady-state loop stays allocation-free — and converts an
+    /// expired deadline (or raised cancellation flag) into
+    /// [`SimError::Deadline`]. This is the per-run watchdog the sweep
+    /// engine uses to turn hung runs into reportable failures.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Core::try_run`], plus [`SimError::Deadline`].
+    pub fn try_run_within(
+        &mut self,
+        max_insts: u64,
+        max_cycles: u64,
+        deadline: &Deadline,
+    ) -> Result<SimStats, SimError> {
+        const MASK: u64 = crate::deadline::DEADLINE_CHECK_INTERVAL - 1;
         while !self.halted && self.stats.committed < max_insts && self.cycle < max_cycles {
+            if self.cycle & MASK == 0 && deadline.expired() {
+                return Err(SimError::Deadline {
+                    wall: deadline.elapsed(),
+                    snapshot: self.snapshot(),
+                });
+            }
             self.try_step()?;
         }
         if !self.halted && self.stats.committed < max_insts {

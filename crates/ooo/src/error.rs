@@ -149,6 +149,18 @@ pub enum SimError {
         /// Pipeline state at the commit.
         snapshot: Box<PipelineSnapshot>,
     },
+    /// The per-run watchdog fired: the run's wall-clock deadline passed
+    /// (or its cancellation flag was raised) before it finished. The
+    /// sweep engine uses this to convert a hung run into a reportable
+    /// degraded result instead of stalling the whole sweep.
+    Deadline {
+        /// Wall-clock time the run had consumed when the watchdog fired
+        /// (zero when the token had no recorded start, i.e. pure
+        /// cancellation).
+        wall: std::time::Duration,
+        /// Pipeline state at the poll that observed the expiry.
+        snapshot: Box<PipelineSnapshot>,
+    },
 }
 
 impl SimError {
@@ -159,7 +171,8 @@ impl SimError {
             | SimError::CycleCeiling { snapshot, .. }
             | SimError::Divergence { snapshot, .. }
             | SimError::Invariant { snapshot, .. }
-            | SimError::CorruptRet { snapshot, .. } => snapshot,
+            | SimError::CorruptRet { snapshot, .. }
+            | SimError::Deadline { snapshot, .. } => snapshot,
         }
     }
 
@@ -176,6 +189,7 @@ impl SimError {
             SimError::Divergence { .. } => "divergence",
             SimError::Invariant { .. } => "invariant",
             SimError::CorruptRet { .. } => "corrupt-ret",
+            SimError::Deadline { .. } => "deadline",
         }
     }
 }
@@ -199,6 +213,13 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "committed Ret at pc {pc:#x} with corrupt target {target}; {snapshot}"
+                )
+            }
+            SimError::Deadline { wall, snapshot } => {
+                write!(
+                    f,
+                    "wall-clock deadline exceeded after {:.3}s; {snapshot}",
+                    wall.as_secs_f64()
                 )
             }
         }

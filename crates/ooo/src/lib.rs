@@ -51,6 +51,7 @@
 mod check;
 mod config;
 mod core;
+mod deadline;
 mod error;
 mod runner;
 mod stats;
@@ -58,9 +59,10 @@ mod stats;
 pub use crate::core::{BootState, CommitRecord, Core, IndirectPredictor};
 pub use check::{CheckConfig, CommitChecker, FaultInjector, FaultPlan};
 pub use config::{CoreConfig, IndirectPredictorKind, MemSquashPolicy, Ports, TrainPoint};
+pub use deadline::{Deadline, DEADLINE_CHECK_INTERVAL};
 pub use error::{DivergenceReport, HeadUop, PipelineSnapshot, SimError};
 pub use runner::{
     simulate, simulate_with_direction, try_simulate, try_simulate_for,
-    try_simulate_with_direction, DEFAULT_MAX_INSTS,
+    try_simulate_with_direction, try_simulate_within, DEFAULT_MAX_INSTS,
 };
 pub use stats::SimStats;

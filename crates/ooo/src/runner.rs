@@ -2,6 +2,7 @@
 
 use crate::config::CoreConfig;
 use crate::core::Core;
+use crate::deadline::Deadline;
 use crate::error::SimError;
 use crate::stats::SimStats;
 use phast_branch::{DirectionPredictor, Tage, TageConfig};
@@ -72,6 +73,29 @@ pub fn try_simulate_for(
 ) -> Result<SimStats, SimError> {
     let mut core = Core::new(program, cfg.clone(), predictor, direction);
     core.try_run(max_insts, max_cycles)
+}
+
+/// Like [`try_simulate`], but under a cooperative [`Deadline`] watchdog:
+/// a run whose wall-clock budget elapses (or whose cancellation flag is
+/// raised) ends with [`SimError::Deadline`] instead of hanging its worker.
+///
+/// # Errors
+///
+/// As for [`try_simulate`], plus [`SimError::Deadline`].
+pub fn try_simulate_within(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    max_insts: u64,
+    deadline: &Deadline,
+) -> Result<SimStats, SimError> {
+    let mut core = Core::new(
+        program,
+        cfg.clone(),
+        predictor,
+        Box::new(Tage::new(TageConfig::default())),
+    );
+    core.try_run_within(max_insts, default_max_cycles(max_insts), deadline)
 }
 
 /// Legacy infallible entry point over [`try_simulate`].

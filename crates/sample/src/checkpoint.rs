@@ -21,7 +21,7 @@
 //! MDP training state is predictor-specific and is warmed per window over
 //! the warm phase (see `docs/SAMPLING.md` for the warming rules).
 
-use crate::codec::{ByteReader, ByteWriter, CodecError};
+use crate::codec::{crc32, ByteReader, ByteWriter, CodecError};
 use crate::warm::WarmState;
 use phast_branch::{DivergentHistory, ReturnAddressStack, HISTORY_CAPACITY};
 use phast_isa::{BlockId, EmuSnapshot, Pc, SparseMemory};
@@ -29,8 +29,15 @@ use std::collections::VecDeque;
 
 /// Serialization magic: "PHSC" (PHast Sample Checkpoint).
 const MAGIC: [u8; 4] = *b"PHSC";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version. v2 appends a little-endian CRC32 trailer over
+/// everything before it; loaders verify the trailer *before* decoding, so
+/// a truncated or bit-flipped file is rejected fail-closed rather than
+/// decoded into silently wrong state.
+const VERSION: u32 = 2;
+/// A sanity ceiling on the serialized store window: the modelled cores
+/// have at most a few hundred SQ entries, so anything past this is a
+/// corrupt length field, not a real configuration.
+const MAX_STORE_WINDOW: usize = 1 << 16;
 
 /// One architecturally retired store remembered by the sliding window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,7 +127,9 @@ impl WarmContext {
         let buf = r.take(HISTORY_CAPACITY)?;
         let history = DivergentHistory::from_raw_parts(buf, head, count);
         let top = r.get_u64()? as usize;
-        let ras_len = r.get_u32()? as usize;
+        // Each RAS entry is 4 bytes: cap the declared length against the
+        // remaining input before allocating.
+        let ras_len = r.get_len(4)?;
         if ras_len == 0 {
             return Err(CodecError::Corrupt("empty RAS"));
         }
@@ -130,7 +139,11 @@ impl WarmContext {
         }
         let ras = ReturnAddressStack::from_raw_parts(&entries, top);
         let store_window = r.get_u32()? as usize;
-        let n_stores = r.get_u32()? as usize;
+        if store_window > MAX_STORE_WINDOW {
+            return Err(CodecError::Corrupt("store window out of range"));
+        }
+        // Each store record is 33 bytes.
+        let n_stores = r.get_len(33)?;
         let mut stores = VecDeque::with_capacity(store_window.max(n_stores));
         for _ in 0..n_stores {
             stores.push_back(StoreRec {
@@ -205,7 +218,8 @@ impl Checkpoint {
         for reg in &mut regs {
             *reg = r.get_u64()?;
         }
-        let n_lines = r.get_u32()? as usize;
+        // Each memory line is 8 bytes of index + 64 bytes of data.
+        let n_lines = r.get_len(72)?;
         let mut memory = SparseMemory::new();
         for _ in 0..n_lines {
             let index = r.get_u64()?;
@@ -260,7 +274,8 @@ impl std::fmt::Debug for CheckpointSet {
 }
 
 impl CheckpointSet {
-    /// Serializes the set to the in-tree byte format.
+    /// Serializes the set to the in-tree byte format, sealed with a
+    /// little-endian CRC32 trailer over every preceding byte.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_bytes(&MAGIC);
@@ -272,29 +287,53 @@ impl CheckpointSet {
         for cp in &self.checkpoints {
             cp.serialize(&mut w);
         }
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        let digest = crc32(&bytes);
+        bytes.extend_from_slice(&digest.to_le_bytes());
+        bytes
     }
 
     /// Decodes a set serialized by [`to_bytes`](Self::to_bytes).
     ///
+    /// The magic and version are probed first (so a non-checkpoint file or
+    /// an old format reports what it *is*), then the CRC32 trailer is
+    /// verified over the whole prefix before any structure is decoded:
+    /// corruption is rejected fail-closed with
+    /// [`CodecError::BadChecksum`] rather than surfacing as an arbitrary
+    /// downstream decode error — or worse, decoding cleanly into wrong
+    /// state.
+    ///
     /// # Errors
     ///
-    /// Any [`CodecError`] on truncated, mis-tagged or structurally invalid
-    /// input. Decoding is total: no input panics.
+    /// Any [`CodecError`] on truncated, mis-tagged, checksum-failing or
+    /// structurally invalid input. Decoding is total: no input panics, and
+    /// declared lengths are capped against the remaining input before any
+    /// allocation.
     pub fn from_bytes(bytes: &[u8]) -> Result<CheckpointSet, CodecError> {
-        let mut r = ByteReader::new(bytes);
-        if r.take(4).map_err(|_| CodecError::BadMagic)? != MAGIC {
+        if bytes.len() < 8 || bytes[..4] != MAGIC {
             return Err(CodecError::BadMagic);
         }
-        let version = r.get_u32()?;
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
         if version != VERSION {
             return Err(CodecError::BadVersion(version));
         }
+        if bytes.len() < 12 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (covered, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        let computed = crc32(covered);
+        if computed != stored {
+            return Err(CodecError::BadChecksum { computed, stored });
+        }
+        let mut r = ByteReader::new(&covered[8..]);
         let horizon = r.get_u64()?;
         let warm_insts = r.get_u64()?;
         let window_insts = r.get_u64()?;
-        let n = r.get_u32()? as usize;
-        let mut checkpoints = Vec::with_capacity(n.min(1 << 20));
+        // A serialized checkpoint is well over 64 bytes (registers alone
+        // exceed that), so 64 is a safe per-element floor for the cap.
+        let n = r.get_len(64)?;
+        let mut checkpoints = Vec::with_capacity(n);
         for _ in 0..n {
             checkpoints.push(Checkpoint::deserialize(&mut r)?);
         }
@@ -347,8 +386,12 @@ mod tests {
     fn bad_magic_and_truncation_are_errors() {
         let mut bytes = sample_set().to_bytes();
         assert_eq!(CheckpointSet::from_bytes(&[]), Err(CodecError::BadMagic));
+        // Any truncation shears the CRC trailer off its payload.
         let last = bytes.len() - 1;
-        assert_eq!(CheckpointSet::from_bytes(&bytes[..last]), Err(CodecError::UnexpectedEof));
+        assert!(matches!(
+            CheckpointSet::from_bytes(&bytes[..last]),
+            Err(CodecError::BadChecksum { .. })
+        ));
         bytes[0] = b'X';
         assert_eq!(CheckpointSet::from_bytes(&bytes), Err(CodecError::BadMagic));
     }
@@ -364,6 +407,31 @@ mod tests {
     fn trailing_garbage_is_rejected() {
         let mut bytes = sample_set().to_bytes();
         bytes.push(0);
-        assert_eq!(CheckpointSet::from_bytes(&bytes), Err(CodecError::Corrupt("trailing bytes")));
+        assert!(matches!(
+            CheckpointSet::from_bytes(&bytes),
+            Err(CodecError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let clean = sample_set().to_bytes();
+        // Flip one payload bit: rejected by the trailer, not by whatever
+        // structural check the flipped field happens to land in.
+        let mut bytes = clean.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            CheckpointSet::from_bytes(&bytes),
+            Err(CodecError::BadChecksum { .. })
+        ));
+        // Flip a trailer bit: same rejection.
+        let mut bytes = clean;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            CheckpointSet::from_bytes(&bytes),
+            Err(CodecError::BadChecksum { .. })
+        ));
     }
 }

@@ -17,6 +17,15 @@ pub enum CodecError {
     BadVersion(u32),
     /// A structurally invalid value (out-of-range length, bad flag byte).
     Corrupt(&'static str),
+    /// The CRC32 integrity trailer does not match the payload: the file
+    /// was truncated, bit-flipped, or otherwise tampered with after it
+    /// was written. Fail-closed — no partially decoded state is returned.
+    BadChecksum {
+        /// CRC32 computed over the payload actually present.
+        computed: u32,
+        /// CRC32 stored in the trailer.
+        stored: u32,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -26,11 +35,44 @@ impl std::fmt::Display for CodecError {
             CodecError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
             CodecError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CodecError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CodecError::BadChecksum { computed, stored } => write!(
+                f,
+                "checkpoint integrity failure: payload CRC32 {computed:#010x} != stored {stored:#010x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// CRC32 (IEEE 802.3, the `cksum`/zlib polynomial) lookup table, built at
+/// compile time.
+static CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the integrity digest used by the PHSC
+/// checkpoint trailer and, in `phast-experiments`, by the `BENCH_*.json`
+/// `digest` field and the run-journal record digests.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// Append-only little-endian writer.
 #[derive(Debug, Default)]
@@ -143,6 +185,26 @@ impl<'a> ByteReader<'a> {
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
+
+    /// Reads a u32 element count and **caps it against the bytes actually
+    /// remaining**: each element needs at least `min_elem_bytes` of input,
+    /// so a declared count that could not possibly be satisfied is
+    /// rejected *before* any `Vec::with_capacity` — a corrupt or hostile
+    /// length field can therefore never trigger an OOM-sized allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] if the count itself is truncated;
+    /// [`CodecError::Corrupt`] if the declared count exceeds what the
+    /// remaining input could encode.
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.get_u32()? as usize;
+        let need = n.saturating_mul(min_elem_bytes.max(1));
+        if need > self.remaining() {
+            return Err(CodecError::Corrupt("declared length exceeds remaining input"));
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +235,36 @@ mod tests {
     fn eof_is_detected_mid_value() {
         let mut r = ByteReader::new(&[1, 2, 3]);
         assert_eq!(r.get_u32(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn get_len_caps_declared_counts() {
+        // 4-byte count of u32::MAX followed by 8 bytes of payload: the
+        // count cannot possibly be satisfied and must be rejected without
+        // allocating.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            r.get_len(8),
+            Err(CodecError::Corrupt("declared length exceeds remaining input"))
+        );
+
+        // A satisfiable count passes through unchanged.
+        let mut ok = 2u32.to_le_bytes().to_vec();
+        ok.extend_from_slice(&[0u8; 16]);
+        let mut r = ByteReader::new(&ok);
+        assert_eq!(r.get_len(8), Ok(2));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Any single-bit flip changes the digest.
+        let a = crc32(b"checkpoint");
+        let b = crc32(b"cheakpoint");
+        assert_ne!(a, b);
     }
 }

@@ -31,7 +31,7 @@ use crate::checkpoint::{Checkpoint, CheckpointSet, WarmContext};
 use crate::warm::Warmer;
 use phast_isa::{EmuError, Emulator, Program};
 use phast_mdp::MemDepPredictor;
-use phast_ooo::{BootState, Core, CoreConfig, SimError, SimStats};
+use phast_ooo::{BootState, Core, CoreConfig, Deadline, SimError, SimStats};
 
 /// Depth of the core's return-address stack (mirrors `Core::new`).
 const RAS_DEPTH: usize = 32;
@@ -188,6 +188,25 @@ pub fn run_window(
     set: &CheckpointSet,
     w: usize,
 ) -> WindowRun {
+    run_window_within(program, cfg, predictor, set, w, &Deadline::none())
+}
+
+/// [`run_window`] under a cooperative [`Deadline`] watchdog: if the
+/// window's wall-clock budget elapses mid-replay, the detailed run ends
+/// with a degraded [`WindowRun`] carrying `SimError::Deadline` instead of
+/// hanging its worker thread.
+///
+/// # Panics
+///
+/// As for [`run_window`].
+pub fn run_window_within(
+    program: &Program,
+    cfg: &CoreConfig,
+    predictor: &mut dyn MemDepPredictor,
+    set: &CheckpointSet,
+    w: usize,
+    deadline: &Deadline,
+) -> WindowRun {
     let cp = &set.checkpoints[w];
     let state = set
         .warm
@@ -229,14 +248,14 @@ pub fn run_window(
     // the delta between the two resumable `try_run` calls.
     let ramp = cfg.rob_size as u64;
     let max_cycles = ((ramp + set.window_insts) * 20).max(1_000_000);
-    let before = match core.try_run(ramp, max_cycles) {
+    let before = match core.try_run_within(ramp, max_cycles, deadline) {
         Ok(stats) => stats,
         Err(e) => return WindowRun { stats: SimStats::default(), failure: Some(e), warmed },
     };
     if before.halted {
         return WindowRun { stats: SimStats::default(), failure: None, warmed: warmed + before.committed };
     }
-    match core.try_run(ramp + set.window_insts, max_cycles) {
+    match core.try_run_within(ramp + set.window_insts, max_cycles, deadline) {
         Ok(stats) => WindowRun {
             stats: diff_stats(&stats, &before),
             failure: None,

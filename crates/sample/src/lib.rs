@@ -31,9 +31,9 @@ mod engine;
 mod warm;
 
 pub use checkpoint::{Checkpoint, CheckpointSet, StoreRec, WarmContext};
-pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError};
 pub use engine::{
-    capture, estimate, ipc_error_bound, run_sampled, run_window, sum_window_stats, SampleConfig,
-    SampleEstimate, WindowRun,
+    capture, estimate, ipc_error_bound, run_sampled, run_window, run_window_within,
+    sum_window_stats, SampleConfig, SampleEstimate, WindowRun,
 };
 pub use warm::{WarmState, Warmer};

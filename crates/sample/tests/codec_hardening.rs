@@ -1,0 +1,139 @@
+//! Fail-closed codec hardening: no corrupted checkpoint byte stream may
+//! panic, allocate unboundedly, or decode into state.
+//!
+//! `CheckpointSet::from_bytes` is the trust boundary between on-disk
+//! artifacts and the sampling engine. These properties pin the contract
+//! down: every truncation and every single-bit flip is rejected with a
+//! typed [`CodecError`]; declared length fields are capped against the
+//! bytes actually present *before* any allocation, so a length-bomb (a
+//! huge count with a freshly re-sealed CRC trailer) errors out quickly
+//! instead of attempting an OOM-sized `Vec::with_capacity`.
+
+use phast_branch::DivergentEvent;
+use phast_isa::{BlockId, EmuSnapshot, SparseMemory};
+use phast_sample::{crc32, Checkpoint, CheckpointSet, StoreRec, WarmContext};
+use proptest::prelude::*;
+
+/// A small but fully populated set: every serialized field class (GHRs,
+/// history ring, RAS, store window, registers, memory lines, cursor) is
+/// exercised so corruption can land anywhere in the format.
+fn sample_set() -> CheckpointSet {
+    let mut ctx = WarmContext::new(4, 8);
+    ctx.cond_ghr = 0b1011_0110;
+    ctx.path_ghr = 0xfeed_face;
+    ctx.history.push(DivergentEvent { indirect: false, taken: true, target: 7 });
+    ctx.history.push(DivergentEvent { indirect: true, taken: true, target: 19 });
+    ctx.ras.push(BlockId(3));
+    ctx.ras.push(BlockId(11));
+    ctx.stores.push_back(StoreRec { seq: 9, pc: 0x40, addr: 0x2000, size: 8, div_count: 1 });
+    ctx.stores.push_back(StoreRec { seq: 12, pc: 0x48, addr: 0x2010, size: 4, div_count: 2 });
+    let mut memory = SparseMemory::new();
+    memory.write_byte(0x2000, 0x5a);
+    memory.write_byte(0x99, 0x11);
+    memory.write_byte(0x4321, 0xc3);
+    let arch = EmuSnapshot {
+        regs: std::array::from_fn(|i| i as u64 * 7 + 1),
+        memory,
+        cursor: Some((BlockId(2), 1)),
+        icount: 10,
+    };
+    CheckpointSet {
+        horizon: 1000,
+        warm_insts: 50,
+        window_insts: 25,
+        checkpoints: vec![Checkpoint { detail_start: 60, arch, ctx }],
+        warm: Vec::new(),
+    }
+}
+
+/// Replaces the last 4 bytes with a freshly computed CRC trailer, so the
+/// mutation under test is reached *past* the integrity check — this is
+/// what an attacker (or a very unlucky disk) would need to do to get
+/// corrupt lengths in front of the allocator.
+fn reseal(bytes: &mut [u8]) {
+    let body_len = bytes.len() - 4;
+    let digest = crc32(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&digest.to_le_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every proper prefix of a valid stream is rejected with a typed
+    /// error — never a panic, never an `Ok`.
+    #[test]
+    fn every_truncation_is_rejected(cut in 0u32..10_000) {
+        let bytes = sample_set().to_bytes();
+        let len = (bytes.len() - 1) * cut as usize / 10_000;
+        let decoded = CheckpointSet::from_bytes(&bytes[..len]);
+        prop_assert!(decoded.is_err(), "truncation to {len}/{} bytes must fail", bytes.len());
+    }
+
+    /// Every single-bit flip anywhere in the stream is rejected: the CRC
+    /// trailer covers the whole prefix and the trailer itself, so there is
+    /// no byte whose corruption decodes cleanly.
+    #[test]
+    fn every_bit_flip_is_rejected(pos in 0u32..10_000, bit in 0u32..8) {
+        let mut bytes = sample_set().to_bytes();
+        let idx = (bytes.len() - 1) * pos as usize / 10_000;
+        bytes[idx] ^= 1 << bit;
+        let decoded = CheckpointSet::from_bytes(&bytes);
+        prop_assert!(decoded.is_err(), "bit {bit} of byte {idx} flipped must fail");
+    }
+
+    /// Overwriting any aligned 32-bit word with an arbitrary value and
+    /// re-sealing the CRC must still decode totally: `Ok` or a typed
+    /// `Err`, but never a panic and never a huge allocation. This drives
+    /// corrupt values through every structural check behind the checksum
+    /// (length caps, range checks, flag bytes).
+    #[test]
+    fn resealed_word_corruption_decodes_totally(pos in 0u32..10_000, value in 0u64..u64::MAX) {
+        let mut bytes = sample_set().to_bytes();
+        let body_len = bytes.len() - 4;
+        let words = body_len / 4;
+        let idx = 4 * ((words - 1) * pos as usize / 10_000);
+        bytes[idx..idx + 4].copy_from_slice(&(value as u32).to_le_bytes());
+        reseal(&mut bytes);
+        // Total decoding is the property; the result value is free.
+        let _ = CheckpointSet::from_bytes(&bytes);
+    }
+}
+
+/// A length bomb behind a valid checksum: each length-bearing field in
+/// turn is overwritten with `u32::MAX` and the trailer re-sealed. The
+/// loader must reject it with a typed error *before* allocating — this
+/// test completing (quickly, without OOM) is the point.
+#[test]
+fn length_bombs_are_defused_before_allocation() {
+    let clean = sample_set().to_bytes();
+    // Offset 32..36 is the checkpoint count (after magic, version, and
+    // three u64 header fields); interior length fields move around with
+    // content, so bomb every aligned word and let the structural checks
+    // sort out which is which.
+    let mut offsets: Vec<usize> = vec![32];
+    offsets.extend((8..clean.len() - 4).step_by(4));
+    for off in offsets {
+        let mut bytes = clean.clone();
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut bytes);
+        let decoded = CheckpointSet::from_bytes(&bytes);
+        assert!(
+            decoded.is_err() || decoded.is_ok(),
+            "decoding is total at offset {off}"
+        );
+        if off == 32 {
+            assert!(decoded.is_err(), "a 4-billion checkpoint count must be rejected");
+        }
+    }
+}
+
+/// The hardened loader still accepts what the writer produces, and the
+/// error taxonomy stays typed end to end.
+#[test]
+fn clean_roundtrip_survives_hardening() {
+    let set = sample_set();
+    let bytes = set.to_bytes();
+    let decoded = CheckpointSet::from_bytes(&bytes).expect("clean stream decodes");
+    assert_eq!(decoded, set);
+    assert_eq!(decoded.to_bytes(), bytes, "re-serialization is byte-identical");
+}
