@@ -57,6 +57,53 @@ impl JsonValue {
         out
     }
 
+    /// [`render`](Self::render), but a non-finite float anywhere in the
+    /// document is a typed error instead of a silent `null`. The lossy
+    /// `render` is correct for *artifacts* (a panicked run's `0/0` IPC is
+    /// honestly unknowable and `null` is its faithful encoding, pinned by
+    /// the digest scheme); on a **protocol boundary** silent nulls turn a
+    /// producer bug into a consumer's missing-field error two hops later,
+    /// so the wire layer renders through this checked path.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonWriteError::NonFinite`] naming the JSON path of the first
+    /// offending value.
+    pub fn try_render(&self) -> Result<String, JsonWriteError> {
+        self.check_finite("$")?;
+        Ok(self.render())
+    }
+
+    /// [`render_compact`](Self::render_compact) with the same non-finite
+    /// check as [`try_render`](Self::try_render).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonWriteError::NonFinite`] naming the JSON path of the first
+    /// offending value.
+    pub fn try_render_compact(&self) -> Result<String, JsonWriteError> {
+        self.check_finite("$")?;
+        Ok(self.render_compact())
+    }
+
+    /// Depth-first scan for non-finite floats, tracking the JSON path for
+    /// the error message.
+    fn check_finite(&self, path: &str) -> Result<(), JsonWriteError> {
+        match self {
+            JsonValue::Float(x) if !x.is_finite() => {
+                Err(JsonWriteError::NonFinite { path: path.to_string(), value: *x })
+            }
+            JsonValue::Array(items) => items
+                .iter()
+                .enumerate()
+                .try_for_each(|(i, v)| v.check_finite(&format!("{path}[{i}]"))),
+            JsonValue::Object(fields) => fields
+                .iter()
+                .try_for_each(|(k, v)| v.check_finite(&format!("{path}.{k}"))),
+            _ => Ok(()),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize, pretty: bool) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -114,6 +161,32 @@ impl JsonValue {
         }
     }
 }
+
+/// Why a [`JsonValue`] could not be rendered on a checked path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonWriteError {
+    /// A float in the document is `NaN` or infinite; emitting it would
+    /// either produce invalid JSON (`NaN` has no JSON spelling) or
+    /// silently degrade it to `null`.
+    NonFinite {
+        /// JSON path of the offending value (`$.runs[3].ipc`).
+        path: String,
+        /// The non-finite value itself.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for JsonWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonWriteError::NonFinite { path, value } => {
+                write!(f, "non-finite float {value} at {path} has no JSON encoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonWriteError {}
 
 fn newline_indent(out: &mut String, indent: usize) {
     out.push('\n');
@@ -421,6 +494,16 @@ impl SweepArtifact {
         out
     }
 
+    /// The artifact's integrity digest (`crc32:xxxxxxxx`) — identical to
+    /// the `digest` field [`to_json`](Self::to_json) seals the rendered
+    /// document with. `phast-serve` indexes finished artifacts by this
+    /// digest so clients can fetch results content-addressed after a
+    /// disconnect.
+    pub fn digest(&self) -> String {
+        let v = self.to_value();
+        format!("crc32:{:08x}", phast_sample::crc32(Self::digest_base(&v).as_bytes()))
+    }
+
     /// The exact byte string the `digest` field hashes: the pretty render
     /// of the document without `digest`, plus the trailing newline.
     fn digest_base(v: &JsonValue) -> String {
@@ -585,6 +668,31 @@ mod tests {
         assert!(s.contains(r#""a\"b\\c\nd\u0001""#), "{s}");
         assert!(s.contains("\"nan\": null"));
         assert!(s.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn checked_render_rejects_non_finite_floats_with_a_path() {
+        let v = JsonValue::obj(vec![
+            ("ok", JsonValue::Float(1.5)),
+            (
+                "runs",
+                JsonValue::Array(vec![
+                    JsonValue::obj(vec![("ipc", JsonValue::Float(2.0))]),
+                    JsonValue::obj(vec![("ipc", JsonValue::Float(f64::NAN))]),
+                ]),
+            ),
+        ]);
+        let err = v.try_render().expect_err("NaN rejected");
+        assert!(
+            matches!(&err, JsonWriteError::NonFinite { path, .. } if path == "$.runs[1].ipc"),
+            "{err}"
+        );
+        assert!(v.try_render_compact().is_err());
+        assert!(err.to_string().contains("$.runs[1].ipc"), "{err}");
+
+        let clean = JsonValue::obj(vec![("x", JsonValue::Float(0.25))]);
+        assert_eq!(clean.try_render().unwrap(), clean.render());
+        assert_eq!(clean.try_render_compact().unwrap(), clean.render_compact());
     }
 
     #[test]

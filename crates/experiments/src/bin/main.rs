@@ -21,7 +21,9 @@
 //! metadata). `--run-timeout` arms a per-run watchdog, `--retries` caps
 //! re-attempts, and the exit code distinguishes clean (0), degraded (1),
 //! usage (2), integrity (3) and deadline (4) outcomes; see
-//! docs/RESILIENCE.md.
+//! docs/RESILIENCE.md. `--verify <BENCH.json>...` checks existing
+//! artifacts against their sealed digests without running anything,
+//! exiting 3 on any mismatch.
 
 use phast_experiments::figures;
 use phast_experiments::{
@@ -66,6 +68,7 @@ fn usage() -> ! {
          [--resume] [--run-timeout=SECS] [--retries=N] <experiment>..."
     );
     eprintln!("       phast-experiments --list-workloads | --list-predictors");
+    eprintln!("       phast-experiments --verify <BENCH.json>...");
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
     eprintln!("(--help for resilience flags and the exit-code taxonomy)");
     std::process::exit(exit_code::USAGE);
@@ -92,6 +95,7 @@ fn help() {
          artifacts / crash resilience:\n\
          \x20 --json-dir=DIR      where BENCH_<id>.json and journal.jsonl land\n\
          \x20 --no-json           no artifacts, no journal\n\
+         \x20 --verify FILE...    verify artifact digests and exit (0 intact, 3 not)\n\
          \x20 --resume            replay completed runs from DIR/journal.jsonl and\n\
          \x20                     execute only what is missing; the merged artifact\n\
          \x20                     is byte-identical to an uninterrupted sweep\n\
@@ -162,6 +166,32 @@ fn main() {
     if args.iter().any(|a| a == "--list-predictors") {
         list_predictors();
         return;
+    }
+    // Verification mode: check existing artifacts against their sealed
+    // digests and exit — nothing is simulated. Files come from
+    // `--verify=PATH` and/or positional operands after a bare `--verify`.
+    if args.iter().any(|a| a == "--verify" || a.starts_with("--verify=")) {
+        let mut files: Vec<PathBuf> = args
+            .iter()
+            .filter_map(|a| a.strip_prefix("--verify="))
+            .map(PathBuf::from)
+            .collect();
+        files.extend(args.iter().filter(|a| !a.starts_with("--")).map(PathBuf::from));
+        if files.is_empty() {
+            eprintln!("error: --verify expects at least one BENCH_<id>.json path");
+            std::process::exit(exit_code::USAGE);
+        }
+        let mut intact = true;
+        for file in &files {
+            match SweepArtifact::verify_file(file) {
+                Ok(()) => println!("ok      {}", file.display()),
+                Err(e) => {
+                    intact = false;
+                    eprintln!("FAILED  {}: {e}", file.display());
+                }
+            }
+        }
+        std::process::exit(if intact { exit_code::OK } else { exit_code::INTEGRITY });
     }
     let quick = args.iter().any(|a| a == "--quick");
     let sampled = args.iter().any(|a| a == "--sampled");

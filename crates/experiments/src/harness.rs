@@ -78,16 +78,22 @@ pub enum RunFailure {
     Sim(SimError),
     /// The job panicked; the payload message survives.
     Panicked(String),
+    /// The job was lost without delivering a result: its `phast-serve`
+    /// lease expired (worker death, heartbeat loss) and the retry budget
+    /// ran out before any attempt completed.
+    Lost(String),
 }
 
 impl RunFailure {
     /// Stable failure-kind tag: [`SimError::kind`] for simulation errors,
-    /// `"panicked"` for caught panics. This is the `status` a journal
-    /// `done` line carries for a failed run.
+    /// `"panicked"` for caught panics, `"lost"` for jobs whose lease
+    /// expired with no result. This is the `status` a journal `done` line
+    /// carries for a failed run.
     pub fn kind(&self) -> &'static str {
         match self {
             RunFailure::Sim(e) => e.kind(),
             RunFailure::Panicked(_) => "panicked",
+            RunFailure::Lost(_) => "lost",
         }
     }
 }
@@ -97,6 +103,7 @@ impl std::fmt::Display for RunFailure {
         match self {
             RunFailure::Sim(e) => e.fmt(f),
             RunFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            RunFailure::Lost(msg) => write!(f, "lost: {msg}"),
         }
     }
 }
@@ -202,12 +209,12 @@ impl RunResult {
     }
 
     /// The degraded-run registry entry for this run, if it failed.
-    fn degraded_entry(&self) -> Option<String> {
+    pub(crate) fn degraded_entry(&self) -> Option<String> {
         self.failure.as_ref().map(|e| format!("{} × {}: {e}", self.workload, self.predictor))
     }
 
     /// The artifact row for this run.
-    fn to_record(&self) -> RunRecord {
+    pub(crate) fn to_record(&self) -> RunRecord {
         RunRecord {
             workload: self.workload.clone(),
             predictor: self.predictor.clone(),
@@ -280,12 +287,20 @@ pub fn simulate_run_within(
 /// A degraded [`RunResult`] for a job whose panic was caught at the pool
 /// boundary: empty statistics, failure [`RunFailure::Panicked`].
 fn panicked_result(workload: &str, label: &str, panic: JobPanic) -> RunResult {
+    failed_result(workload, label, RunFailure::Panicked(panic.message))
+}
+
+/// A degraded [`RunResult`] carrying `failure` and empty statistics — for
+/// jobs that never produced partial state: caught panics, and
+/// `phast-serve` jobs whose lease expired with no surviving attempt
+/// ([`RunFailure::Lost`]).
+pub fn failed_result(workload: &str, label: &str, failure: RunFailure) -> RunResult {
     RunResult {
         workload: workload.to_string(),
         predictor: label.to_string(),
         stats: SimStats::default(),
         num_paths: 0,
-        failure: Some(RunFailure::Panicked(panic.message)),
+        failure: Some(failure),
         wall: Duration::ZERO,
         attempts: 1,
         sampling: None,
@@ -301,7 +316,7 @@ fn panicked_result(workload: &str, label: &str, panic: JobPanic) -> RunResult {
 /// `violation_mpki` and `false_dep_mpki` recompute to the identical
 /// values because they were derived from these integers in the first
 /// place.
-fn replayed_result(done: CompletedRun) -> RunResult {
+pub(crate) fn replayed_result(done: CompletedRun) -> RunResult {
     let r = &done.record;
     let per_kilo_inverse =
         |mpki: f64| -> u64 { (mpki * r.committed as f64 / 1000.0).round() as u64 };
@@ -348,13 +363,35 @@ fn execute_one_within(
     )
 }
 
+/// One *attempt* at a full-detail sweep cell, with panic isolation but no
+/// retry loop, journaling, or registry — the execution primitive shared
+/// by [`Sweep::execute_cell`]'s retry loop and the `phast-serve`
+/// scheduler, whose retries are driven externally by lease reclamation.
+/// A panic inside the cell degrades it to [`RunFailure::Panicked`]; the
+/// cooperative `deadline` carries the service layer's cancellation flag
+/// and progress counter when called from a leased worker.
+pub fn execute_cell_once(
+    workload: &Workload,
+    kind: &PredictorKind,
+    cfg: &CoreConfig,
+    budget: &Budget,
+    deadline: &Deadline,
+) -> RunResult {
+    match pool::catch_job(|| execute_one_within(workload, kind, cfg, budget, deadline)) {
+        Ok(run) => run,
+        Err(p) => panicked_result(workload.name, &kind.label(), p),
+    }
+}
+
 /// The journal key of one sweep cell. Workload and predictor label alone
 /// do not identify a run — Fig. 2 sweeps core generations and Fig. 12
 /// re-runs pairs under a different forwarding filter — so the key also
 /// carries a fingerprint of the core configuration (CRC32 of its `Debug`
 /// form, which is deterministic), the instruction budget, and the
-/// sampling shape when in sampled mode.
-fn cell_key(
+/// sampling shape when in sampled mode. Public because the `phast-serve`
+/// job queue journals cells under exactly the same keys, so a daemon
+/// journal and a batch journal are mutually intelligible.
+pub fn cell_key(
     workload: &str,
     label: &str,
     cfg: &CoreConfig,
@@ -374,6 +411,25 @@ fn cell_key(
 /// different fault schedule rather than deterministically replaying the
 /// same injected failure.
 const RESEED_GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derives the attempt-specific core configuration for a retried cell:
+/// attempt 1 is the configuration as given; later attempts reseed the
+/// fault plan (when one is armed) so each retry explores a different
+/// fault schedule. Returns the configuration and the effective fault
+/// seed (0 when fault injection is off) — the seed journaled on the
+/// attempt's `start` line. Shared by the [`Sweep`] retry loop and the
+/// `phast-serve` lease-reclaim requeue path, which must journal the same
+/// reseeding a batch sweep would.
+pub fn reseed_for_attempt(cfg: &CoreConfig, attempt: u64) -> (CoreConfig, u64) {
+    let mut cfg_attempt = cfg.clone();
+    if attempt > 1 {
+        if let Some(f) = &mut cfg_attempt.check.faults {
+            f.seed ^= RESEED_GOLDEN.wrapping_mul(attempt);
+        }
+    }
+    let seed = cfg_attempt.check.faults.as_ref().map_or(0, |f| f.seed);
+    (cfg_attempt, seed)
+}
 
 /// Assembles the per-window runs of one (workload, predictor) cell into a
 /// [`RunResult`]: statistics are the window sums (so the cell's IPC is
@@ -601,23 +657,12 @@ impl Sweep {
         let mut attempt = 0u64;
         loop {
             attempt += 1;
-            let mut cfg_attempt = cfg.clone();
-            if attempt > 1 {
-                if let Some(f) = &mut cfg_attempt.check.faults {
-                    f.seed ^= RESEED_GOLDEN.wrapping_mul(attempt);
-                }
-            }
-            let seed = cfg_attempt.check.faults.as_ref().map_or(0, |f| f.seed);
+            let (cfg_attempt, seed) = reseed_for_attempt(cfg, attempt);
             if let Some(j) = &self.journal {
                 j.log_start(&key, attempt, seed);
             }
             let deadline = self.deadline();
-            let mut run = match pool::catch_job(|| {
-                execute_one_within(workload, kind, &cfg_attempt, budget, &deadline)
-            }) {
-                Ok(run) => run,
-                Err(p) => panicked_result(workload.name, &kind.label(), p),
-            };
+            let mut run = execute_cell_once(workload, kind, &cfg_attempt, budget, &deadline);
             run.attempts = attempt;
             if run.ok() || attempt >= max_attempts {
                 if let Some(j) = &self.journal {

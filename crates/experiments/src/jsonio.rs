@@ -5,7 +5,11 @@
 //! hand renderer, and this module reads it back. The parser accepts
 //! exactly standard JSON (objects, arrays, strings with escapes, numbers,
 //! booleans, null) and is **total**: any input yields `Ok` or a typed
-//! [`JsonParseError`] with a byte offset — never a panic.
+//! [`JsonParseError`] with a byte offset — never a panic. Because it also
+//! fronts the `phast-serve` wire protocol it is hardened fail-closed:
+//! duplicate object keys are rejected rather than resolved by position
+//! (last-wins vs first-wins ambiguity is a classic request-smuggling
+//! vector on protocol boundaries).
 //!
 //! Round-trip fidelity matters more than generality here: the `BENCH_*`
 //! digest and the journal's per-record digests are verified by
@@ -113,7 +117,17 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
+            // Duplicate keys are ambiguous (last-wins vs first-wins differs
+            // between consumers) and a classic smuggling vector on protocol
+            // boundaries — fail closed. The in-tree writer never emits them.
+            if fields.iter().any(|(k, _): &(String, JsonValue)| *k == key) {
+                return Err(JsonParseError {
+                    offset: key_offset,
+                    message: format!("duplicate object key '{key}'"),
+                });
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -368,6 +382,21 @@ mod tests {
             assert_eq!(parsed.render(), v.render(), "re-render matches");
             assert_eq!(parsed.render_compact(), v.render_compact());
         }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected_fail_closed() {
+        for bad in [
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":1,"b":{"x":1,"x":2}}"#,
+            r#"[{"k":true,"k":false}]"#,
+        ] {
+            let e = parse(bad).expect_err(bad);
+            assert!(e.message.contains("duplicate object key"), "{bad}: {e}");
+        }
+        // Same key at different nesting depths is fine.
+        let v = parse(r#"{"a":{"a":1},"b":[{"a":2}]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(|x| x.get("a")).and_then(JsonValue::as_u64), Some(1));
     }
 
     #[test]

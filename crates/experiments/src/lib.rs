@@ -35,9 +35,10 @@ pub mod journal;
 pub mod jsonio;
 pub mod pool;
 pub mod predictors;
+pub mod serve;
 pub mod tablefmt;
 
-pub use artifact::{ArtifactError, SamplingMeta, SweepArtifact};
+pub use artifact::{ArtifactError, JsonWriteError, SamplingMeta, SweepArtifact};
 pub use harness::{exit_code, geomean, Budget, RunFailure, RunResult, Sweep};
 pub use journal::{CompletedRun, Journal, JournalError, JournalScope};
 pub use phast_sample::SampleConfig;

@@ -74,6 +74,52 @@ impl PredictorKind {
         }
     }
 
+    /// Inverse of [`label`](Self::label): parses a predictor name as it
+    /// appears in experiment output, artifacts, and `phast-serve` submit
+    /// requests. Total over arbitrary input — unknown or malformed labels
+    /// are `None`, never a panic (this sits on a protocol boundary).
+    pub fn from_label(label: &str) -> Option<PredictorKind> {
+        // Fixed names first; the longest-prefix parameterized forms after,
+        // so "mdp-tage-s" is not misread as a scaled MDP-TAGE.
+        match label {
+            "ideal" => return Some(PredictorKind::Ideal),
+            "blind" => return Some(PredictorKind::Blind),
+            "total-order" => return Some(PredictorKind::TotalOrder),
+            "phast" => return Some(PredictorKind::Phast),
+            "unl-phast" => return Some(PredictorKind::UnlimitedPhast(None)),
+            "nosq" => return Some(PredictorKind::NoSq),
+            "store-sets" => return Some(PredictorKind::StoreSets),
+            "store-vector" => return Some(PredictorKind::StoreVector),
+            "cht" => return Some(PredictorKind::Cht),
+            "mdp-tage" => return Some(PredictorKind::MdpTage),
+            "mdp-tage-s" => return Some(PredictorKind::MdpTageS),
+            "unl-mdp-tage" => return Some(PredictorKind::UnlimitedMdpTage),
+            _ => {}
+        }
+        let num = |s: &str| s.parse::<usize>().ok().filter(|n| *n > 0);
+        if let Some(rest) = label.strip_prefix("phast-").and_then(|r| r.strip_suffix('s')) {
+            return Some(PredictorKind::PhastSets(num(rest)?));
+        }
+        if let Some(rest) = label.strip_prefix("unl-phast-") {
+            return Some(PredictorKind::UnlimitedPhast(Some(rest.parse().ok()?)));
+        }
+        if let Some(rest) = label.strip_prefix("nosq-").and_then(|r| r.strip_suffix('s')) {
+            return Some(PredictorKind::NoSqSets(num(rest)?));
+        }
+        if let Some(rest) = label.strip_prefix("unl-nosq-") {
+            return Some(PredictorKind::UnlimitedNoSq(rest.parse().ok()?));
+        }
+        if let Some(rest) = label.strip_prefix("store-sets-") {
+            let (a, b) = rest.split_once('-')?;
+            return Some(PredictorKind::StoreSetsSized(num(a)?, num(b)?));
+        }
+        if let Some(rest) = label.strip_prefix("mdp-tage-") {
+            let (n, d) = rest.split_once("of")?;
+            return Some(PredictorKind::MdpTageScaled(num(n)?, num(d)?));
+        }
+        None
+    }
+
     /// The five limited predictors of the headline comparison
     /// (Figs. 13–16), in the paper's order.
     pub fn headline() -> Vec<PredictorKind> {
@@ -187,6 +233,42 @@ mod tests {
     #[test]
     fn headline_has_five_predictors() {
         assert_eq!(PredictorKind::headline().len(), 5);
+    }
+
+    #[test]
+    fn from_label_inverts_label_for_every_kind() {
+        let kinds = vec![
+            PredictorKind::Ideal,
+            PredictorKind::Blind,
+            PredictorKind::TotalOrder,
+            PredictorKind::Phast,
+            PredictorKind::PhastSets(64),
+            PredictorKind::UnlimitedPhast(None),
+            PredictorKind::UnlimitedPhast(Some(12)),
+            PredictorKind::NoSq,
+            PredictorKind::NoSqSets(256),
+            PredictorKind::UnlimitedNoSq(8),
+            PredictorKind::StoreSets,
+            PredictorKind::StoreSetsSized(4096, 2048),
+            PredictorKind::StoreVector,
+            PredictorKind::Cht,
+            PredictorKind::MdpTage,
+            PredictorKind::MdpTageScaled(1, 2),
+            PredictorKind::MdpTageS,
+            PredictorKind::UnlimitedMdpTage,
+        ];
+        for kind in kinds {
+            let label = kind.label();
+            assert_eq!(PredictorKind::from_label(&label), Some(kind), "{label}");
+        }
+    }
+
+    #[test]
+    fn from_label_rejects_garbage_without_panicking() {
+        for bad in ["", "phastx", "phast-s", "phast-0s", "nosq-s", "store-sets-4096",
+                    "mdp-tage-0of2", "unl-nosq-", "unl-phast-x", "PHAST", "blind "] {
+            assert_eq!(PredictorKind::from_label(bad), None, "{bad}");
+        }
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! The `phast-serve` wire protocol: JSON-lines over TCP.
+//!
+//! One request object per line from the client, one event object per
+//! line from the daemon. Requests carry an `"op"` discriminant, events
+//! an `"event"` discriminant; unknown fields are ignored (forward
+//! compatibility) but unknown discriminants, malformed JSON, and
+//! duplicate object keys are rejected fail-closed by the hardened
+//! [`crate::jsonio`] parser. The daemon renders every event through the
+//! **checked** writer ([`JsonValue::try_render_compact`]) — a non-finite
+//! float can degrade an artifact to `null` with its digest pinning the
+//! loss, but it must never silently cross a protocol boundary.
+//!
+//! The full protocol specification (state machines, backpressure, drain
+//! semantics, exit codes) lives in `docs/SERVICE.md`.
+
+use crate::artifact::JsonValue;
+use crate::harness::Budget;
+use crate::jsonio;
+
+/// A client request, one per line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Daemon health and artifact index snapshot.
+    Status,
+    /// Submit a sweep.
+    Submit {
+        /// Artifact id (`BENCH_<id>.json`) and journal scope.
+        id: String,
+        /// Predictor labels ([`crate::predictors::PredictorKind::from_label`]).
+        kinds: Vec<String>,
+        /// Budget tier name (`full`, `quick`, `bench`, `sampled`).
+        budget: String,
+        /// Stream per-cell [`Event::Cell`] progress events before the
+        /// final [`Event::Done`]. Without it the daemon replies
+        /// [`Event::Accepted`] and runs the sweep fire-and-forget.
+        watch: bool,
+    },
+    /// Retrieve a finished artifact body by its integrity digest.
+    Fetch {
+        /// The `crc32:xxxxxxxx` digest [`Event::Done`] reported.
+        digest: String,
+    },
+    /// Begin a graceful drain: stop admitting, finish in-flight sweeps,
+    /// exit.
+    Shutdown,
+}
+
+/// A daemon event, one per line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Reply to [`Request::Ping`].
+    Pong {
+        /// Worker threads serving the queue.
+        workers: u64,
+    },
+    /// Reply to [`Request::Status`].
+    Status(StatusBody),
+    /// The sweep was admitted.
+    Accepted {
+        /// Sweep id.
+        id: String,
+        /// Cells scheduled live.
+        cells: u64,
+        /// Cells replayed verbatim from the daemon journal.
+        replayed: u64,
+    },
+    /// The sweep was refused; resubmit after `retry_after_ms` if given.
+    Rejected {
+        /// `"queue-full"` (backpressure) or `"draining"` (shutdown).
+        reason: String,
+        /// Suggested client backoff; absent when retrying is pointless
+        /// (the daemon is exiting).
+        retry_after_ms: Option<u64>,
+    },
+    /// One cell of a watched sweep delivered.
+    Cell {
+        /// Workload label.
+        workload: String,
+        /// Predictor label.
+        predictor: String,
+        /// `"ok"` or the failure kind.
+        status: String,
+        /// Attempts the cell consumed across lease reclaims.
+        attempts: u64,
+    },
+    /// A watched sweep finished.
+    Done {
+        /// Sweep id.
+        id: String,
+        /// Artifact integrity digest — the key for [`Request::Fetch`].
+        digest: String,
+        /// Total runs in the artifact.
+        runs: u64,
+        /// Degraded runs.
+        degraded: u64,
+        /// Runs cut off by the per-run watchdog.
+        deadline_runs: u64,
+        /// Exit-taxonomy verdict for this sweep.
+        exit: u64,
+    },
+    /// Reply to [`Request::Fetch`]: the sealed artifact body.
+    Artifact {
+        /// Integrity digest of `body`.
+        digest: String,
+        /// The full `BENCH_<id>.json` text (digest field included).
+        body: String,
+    },
+    /// The request could not be served.
+    Error {
+        /// What went wrong.
+        reason: String,
+    },
+    /// Reply to [`Request::Shutdown`]: the drain has begun.
+    Draining,
+}
+
+/// The [`Event::Status`] payload.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatusBody {
+    /// Worker threads.
+    pub workers: u64,
+    /// Jobs sitting in deques.
+    pub queue_depth: u64,
+    /// Jobs admitted but not yet delivered.
+    pub outstanding: u64,
+    /// Sweeps admitted and not yet finished.
+    pub active_sweeps: u64,
+    /// True once a graceful drain has begun.
+    pub draining: bool,
+    /// Leases reclaimed since startup.
+    pub reclaimed: u64,
+    /// Jobs degraded to `lost` since startup.
+    pub lost: u64,
+    /// Worker threads respawned since startup.
+    pub respawns: u64,
+    /// Finished artifacts: `(id, digest)`, oldest first.
+    pub artifacts: Vec<(String, String)>,
+}
+
+/// Resolves a budget tier name from [`Request::Submit`].
+pub fn parse_budget(name: &str) -> Option<Budget> {
+    match name {
+        "full" => Some(Budget::full()),
+        "quick" => Some(Budget::quick()),
+        "bench" => Some(Budget::bench()),
+        "sampled" => Some(Budget::sampled()),
+        _ => None,
+    }
+}
+
+/// Renders a request as one compact JSON line (no trailing newline).
+pub fn render_request(req: &Request) -> String {
+    let v = match req {
+        Request::Ping => JsonValue::obj(vec![("op", s("ping"))]),
+        Request::Status => JsonValue::obj(vec![("op", s("status"))]),
+        Request::Submit { id, kinds, budget, watch } => JsonValue::obj(vec![
+            ("op", s("submit")),
+            ("id", s(id)),
+            ("kinds", JsonValue::Array(kinds.iter().map(|k| s(k)).collect())),
+            ("budget", s(budget)),
+            ("watch", JsonValue::Bool(*watch)),
+        ]),
+        Request::Fetch { digest } => {
+            JsonValue::obj(vec![("op", s("fetch")), ("digest", s(digest))])
+        }
+        Request::Shutdown => JsonValue::obj(vec![("op", s("shutdown"))]),
+    };
+    checked(v)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable reason: malformed JSON (including duplicate keys),
+/// missing/mistyped fields, or an unknown `op`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = jsonio::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    let op = v.get("op").and_then(JsonValue::as_str).ok_or("request has no 'op'")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "status" => Ok(Request::Status),
+        "submit" => {
+            let id = req_str(&v, "id")?;
+            let kinds = v
+                .get("kinds")
+                .and_then(JsonValue::as_array)
+                .ok_or("submit has no 'kinds' array")?
+                .iter()
+                .map(|k| k.as_str().map(str::to_string).ok_or("non-string kind"))
+                .collect::<Result<Vec<String>, _>>()?;
+            let budget = req_str(&v, "budget")?;
+            let watch = v.get("watch").and_then(JsonValue::as_bool).unwrap_or(false);
+            Ok(Request::Submit { id, kinds, budget, watch })
+        }
+        "fetch" => Ok(Request::Fetch { digest: req_str(&v, "digest")? }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Renders an event as one compact JSON line (no trailing newline),
+/// through the checked writer — see the module docs.
+pub fn render_event(ev: &Event) -> String {
+    let v = match ev {
+        Event::Pong { workers } => {
+            JsonValue::obj(vec![("event", s("pong")), ("workers", JsonValue::UInt(*workers))])
+        }
+        Event::Status(b) => JsonValue::obj(vec![
+            ("event", s("status")),
+            ("workers", JsonValue::UInt(b.workers)),
+            ("queue_depth", JsonValue::UInt(b.queue_depth)),
+            ("outstanding", JsonValue::UInt(b.outstanding)),
+            ("active_sweeps", JsonValue::UInt(b.active_sweeps)),
+            ("draining", JsonValue::Bool(b.draining)),
+            ("reclaimed", JsonValue::UInt(b.reclaimed)),
+            ("lost", JsonValue::UInt(b.lost)),
+            ("respawns", JsonValue::UInt(b.respawns)),
+            (
+                "artifacts",
+                JsonValue::Array(
+                    b.artifacts
+                        .iter()
+                        .map(|(id, digest)| {
+                            JsonValue::obj(vec![("id", s(id)), ("digest", s(digest))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Event::Accepted { id, cells, replayed } => JsonValue::obj(vec![
+            ("event", s("accepted")),
+            ("id", s(id)),
+            ("cells", JsonValue::UInt(*cells)),
+            ("replayed", JsonValue::UInt(*replayed)),
+        ]),
+        Event::Rejected { reason, retry_after_ms } => {
+            let mut fields = vec![("event", s("rejected")), ("reason", s(reason))];
+            if let Some(ms) = retry_after_ms {
+                fields.push(("retry_after_ms", JsonValue::UInt(*ms)));
+            }
+            JsonValue::obj(fields)
+        }
+        Event::Cell { workload, predictor, status, attempts } => JsonValue::obj(vec![
+            ("event", s("cell")),
+            ("workload", s(workload)),
+            ("predictor", s(predictor)),
+            ("status", s(status)),
+            ("attempts", JsonValue::UInt(*attempts)),
+        ]),
+        Event::Done { id, digest, runs, degraded, deadline_runs, exit } => JsonValue::obj(vec![
+            ("event", s("done")),
+            ("id", s(id)),
+            ("digest", s(digest)),
+            ("runs", JsonValue::UInt(*runs)),
+            ("degraded", JsonValue::UInt(*degraded)),
+            ("deadline_runs", JsonValue::UInt(*deadline_runs)),
+            ("exit", JsonValue::UInt(*exit)),
+        ]),
+        Event::Artifact { digest, body } => JsonValue::obj(vec![
+            ("event", s("artifact")),
+            ("digest", s(digest)),
+            ("body", s(body)),
+        ]),
+        Event::Error { reason } => {
+            JsonValue::obj(vec![("event", s("error")), ("reason", s(reason))])
+        }
+        Event::Draining => JsonValue::obj(vec![("event", s("draining"))]),
+    };
+    checked(v)
+}
+
+/// Parses one event line (the client side of the wire).
+///
+/// # Errors
+///
+/// A human-readable reason, as for [`parse_request`].
+pub fn parse_event(line: &str) -> Result<Event, String> {
+    let v = jsonio::parse(line).map_err(|e| format!("malformed event: {e}"))?;
+    let event = v.get("event").and_then(JsonValue::as_str).ok_or("event has no 'event'")?;
+    match event {
+        "pong" => Ok(Event::Pong { workers: req_u64(&v, "workers")? }),
+        "status" => {
+            let artifacts = v
+                .get("artifacts")
+                .and_then(JsonValue::as_array)
+                .ok_or("status has no 'artifacts'")?
+                .iter()
+                .map(|a| {
+                    let id = a.get("id").and_then(JsonValue::as_str).ok_or("artifact sans id")?;
+                    let digest =
+                        a.get("digest").and_then(JsonValue::as_str).ok_or("artifact sans digest")?;
+                    Ok((id.to_string(), digest.to_string()))
+                })
+                .collect::<Result<Vec<_>, &str>>()?;
+            Ok(Event::Status(StatusBody {
+                workers: req_u64(&v, "workers")?,
+                queue_depth: req_u64(&v, "queue_depth")?,
+                outstanding: req_u64(&v, "outstanding")?,
+                active_sweeps: req_u64(&v, "active_sweeps")?,
+                draining: v.get("draining").and_then(JsonValue::as_bool).unwrap_or(false),
+                reclaimed: req_u64(&v, "reclaimed")?,
+                lost: req_u64(&v, "lost")?,
+                respawns: req_u64(&v, "respawns")?,
+                artifacts,
+            }))
+        }
+        "accepted" => Ok(Event::Accepted {
+            id: req_str(&v, "id")?,
+            cells: req_u64(&v, "cells")?,
+            replayed: req_u64(&v, "replayed")?,
+        }),
+        "rejected" => Ok(Event::Rejected {
+            reason: req_str(&v, "reason")?,
+            retry_after_ms: v.get("retry_after_ms").and_then(JsonValue::as_u64),
+        }),
+        "cell" => Ok(Event::Cell {
+            workload: req_str(&v, "workload")?,
+            predictor: req_str(&v, "predictor")?,
+            status: req_str(&v, "status")?,
+            attempts: req_u64(&v, "attempts")?,
+        }),
+        "done" => Ok(Event::Done {
+            id: req_str(&v, "id")?,
+            digest: req_str(&v, "digest")?,
+            runs: req_u64(&v, "runs")?,
+            degraded: req_u64(&v, "degraded")?,
+            deadline_runs: req_u64(&v, "deadline_runs")?,
+            exit: req_u64(&v, "exit")?,
+        }),
+        "artifact" => Ok(Event::Artifact {
+            digest: req_str(&v, "digest")?,
+            body: req_str(&v, "body")?,
+        }),
+        "error" => Ok(Event::Error { reason: req_str(&v, "reason")? }),
+        "draining" => Ok(Event::Draining),
+        other => Err(format!("unknown event '{other}'")),
+    }
+}
+
+fn s(text: &str) -> JsonValue {
+    JsonValue::Str(text.to_string())
+}
+
+fn req_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(JsonValue::as_u64).ok_or_else(|| format!("missing uint field '{key}'"))
+}
+
+/// Renders through the checked writer; an unrenderable event (cannot
+/// happen for the shapes above, which carry no floats) degrades to a
+/// protocol error event rather than panicking the connection thread.
+fn checked(v: JsonValue) -> String {
+    match v.try_render_compact() {
+        Ok(line) => line,
+        Err(e) => JsonValue::obj(vec![
+            ("event", s("error")),
+            ("reason", JsonValue::Str(format!("unrenderable event: {e}"))),
+        ])
+        .render_compact(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_the_wire() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Status,
+            Request::Submit {
+                id: "quick".into(),
+                kinds: vec!["blind".into(), "phast-8s".into()],
+                budget: "bench".into(),
+                watch: true,
+            },
+            Request::Fetch { digest: "crc32:deadbeef".into() },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = render_request(&req);
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(parse_request(&line).expect("parses"), req);
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_the_wire() {
+        let events = vec![
+            Event::Pong { workers: 8 },
+            Event::Status(StatusBody {
+                workers: 8,
+                queue_depth: 3,
+                outstanding: 5,
+                active_sweeps: 1,
+                draining: false,
+                reclaimed: 2,
+                lost: 0,
+                respawns: 2,
+                artifacts: vec![("quick".into(), "crc32:00000001".into())],
+            }),
+            Event::Accepted { id: "quick".into(), cells: 12, replayed: 4 },
+            Event::Rejected { reason: "queue-full".into(), retry_after_ms: Some(250) },
+            Event::Rejected { reason: "draining".into(), retry_after_ms: None },
+            Event::Cell {
+                workload: "mcf".into(),
+                predictor: "phast".into(),
+                status: "ok".into(),
+                attempts: 2,
+            },
+            Event::Done {
+                id: "quick".into(),
+                digest: "crc32:deadbeef".into(),
+                runs: 12,
+                degraded: 1,
+                deadline_runs: 0,
+                exit: 1,
+            },
+            Event::Artifact {
+                digest: "crc32:deadbeef".into(),
+                body: "{\n  \"id\": \"quick\"\n}\n".into(),
+            },
+            Event::Error { reason: "unknown op 'frob'".into() },
+            Event::Draining,
+        ];
+        for ev in events {
+            let line = render_event(&ev);
+            assert!(!line.contains('\n'), "one line per event: {line}");
+            assert_eq!(parse_event(&line).expect("parses"), ev);
+        }
+    }
+
+    #[test]
+    fn malformed_and_unknown_inputs_are_rejected() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"frobnicate\"}").unwrap_err().contains("unknown op"));
+        assert!(parse_request("{}").is_err());
+        // Duplicate keys are refused by the hardened parser, not
+        // last-writer-wins resolved.
+        let dup = "{\"op\":\"ping\",\"op\":\"shutdown\"}";
+        assert!(parse_request(dup).unwrap_err().contains("duplicate"));
+        assert!(parse_event("{\"event\":\"warp\"}").unwrap_err().contains("unknown event"));
+        assert!(parse_event("{\"event\":\"pong\"}").unwrap_err().contains("workers"));
+    }
+
+    #[test]
+    fn budget_tiers_resolve_by_name() {
+        assert_eq!(parse_budget("quick").map(|b| b.insts), Some(Budget::quick().insts));
+        assert_eq!(parse_budget("bench").map(|b| b.insts), Some(Budget::bench().insts));
+        assert_eq!(parse_budget("full").map(|b| b.insts), Some(Budget::full().insts));
+        assert_eq!(parse_budget("sampled").map(|b| b.insts), Some(Budget::sampled().insts));
+        assert!(parse_budget("lavish").is_none());
+    }
+}

@@ -478,11 +478,14 @@ impl<'a> Core<'a> {
     ) -> Result<SimStats, SimError> {
         const MASK: u64 = crate::deadline::DEADLINE_CHECK_INTERVAL - 1;
         while !self.halted && self.stats.committed < max_insts && self.cycle < max_cycles {
-            if self.cycle & MASK == 0 && deadline.expired() {
-                return Err(SimError::Deadline {
-                    wall: deadline.elapsed(),
-                    snapshot: self.snapshot(),
-                });
+            if self.cycle & MASK == 0 {
+                deadline.tick();
+                if deadline.expired() {
+                    return Err(SimError::Deadline {
+                        wall: deadline.elapsed(),
+                        snapshot: self.snapshot(),
+                    });
+                }
             }
             self.try_step()?;
         }

@@ -16,7 +16,7 @@
 //! cycle would already have tripped the deadlock watchdog or an invariant
 //! audit.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,6 +33,7 @@ pub struct Deadline {
     started: Option<Instant>,
     at: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    progress: Option<Arc<AtomicU64>>,
 }
 
 impl Deadline {
@@ -48,6 +49,7 @@ impl Deadline {
             started: Some(now),
             at: Some(now.checked_add(budget).unwrap_or(now)),
             cancel: None,
+            progress: None,
         }
     }
 
@@ -56,6 +58,26 @@ impl Deadline {
     pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Deadline {
         self.cancel = Some(flag);
         self
+    }
+
+    /// Attaches a shared progress counter: the cycle loop bumps it once
+    /// per deadline poll (every [`DEADLINE_CHECK_INTERVAL`] cycles), so an
+    /// external supervisor — the `phast-serve` lease housekeeper — can
+    /// tell a run that is still making forward progress from one that has
+    /// silently wedged, without the run ever taking a wall-clock reading.
+    pub fn with_progress(mut self, counter: Arc<AtomicU64>) -> Deadline {
+        self.progress = Some(counter);
+        self
+    }
+
+    /// Records one unit of forward progress on the attached counter (a
+    /// no-op without one). Called by the cycle loop on the same amortized
+    /// path that polls [`Deadline::expired`], keeping the steady-state
+    /// loop allocation-free.
+    pub fn tick(&self) {
+        if let Some(p) = &self.progress {
+            p.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// True if this token can never expire.
@@ -122,5 +144,18 @@ mod tests {
     #[test]
     fn check_interval_is_a_power_of_two() {
         assert!(DEADLINE_CHECK_INTERVAL.is_power_of_two());
+    }
+
+    #[test]
+    fn progress_counter_ticks_and_does_not_bound_the_token() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let d = Deadline::none().with_progress(Arc::clone(&counter));
+        assert!(d.is_unbounded(), "progress alone never expires a token");
+        assert!(!d.expired());
+        d.tick();
+        d.tick();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+        // Tokens without a counter tick as a no-op.
+        Deadline::none().tick();
     }
 }
