@@ -64,7 +64,7 @@ fn run_experiment(id: &str, sweep: &Sweep, budget: &Budget) -> Option<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: phast-experiments [--quick] [--sampled] [--windows=N] [--warm=M] \
-         [--serial | --workers=N] [--json-dir=DIR | --no-json] \
+         [--serial | --workers=N] [--lanes=N] [--json-dir=DIR | --no-json] \
          [--resume] [--run-timeout=SECS] [--retries=N] <experiment>..."
     );
     eprintln!("       phast-experiments --list-workloads | --list-predictors");
@@ -89,6 +89,11 @@ fn help() {
          execution:\n\
          \x20 --serial            one worker (determinism reference)\n\
          \x20 --workers=N         explicit worker count (default: all cores)\n\
+         \x20 --lanes=N           batch N (workload, predictor) cells per worker\n\
+         \x20                     through one interleaved cycle loop; --lanes=1\n\
+         \x20                     (the default, also PHAST_LANES) forces the\n\
+         \x20                     serial per-cell path; artifacts are byte-\n\
+         \x20                     identical at any lane count\n\
          \x20 --run-timeout=SECS  per-run watchdog; hung runs end as 'deadline'\n\
          \x20 --retries=N         attempts per run before it is recorded degraded\n\
          \n\
@@ -218,6 +223,18 @@ fn main() {
             std::process::exit(exit_code::USAGE);
         })
     });
+    // `--lanes=1` (the default) forces the solo per-cell path; any N > 1
+    // batches N (workload, predictor) cells per worker through LaneBatch.
+    let lanes: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--lanes="))
+        .map(|v| {
+            pool::parse_lanes(v).unwrap_or_else(|e| {
+                eprintln!("error: --lanes: {e}");
+                std::process::exit(exit_code::USAGE);
+            })
+        })
+        .unwrap_or_else(pool::default_lanes);
     let windows: Option<u64> =
         args.iter().find_map(|a| a.strip_prefix("--windows=")).map(|v| parse_count("--windows", v));
     let warm: Option<u64> =
@@ -311,6 +328,9 @@ fn main() {
         // The validation experiment reads the sampling config off the
         // sweep but runs its full-detail reference through simulate_run
         // directly, so setting sampled mode here is safe for every id.
+        if lanes > 1 {
+            sweep = sweep.with_lanes(lanes);
+        }
         if let Some(scfg) = sampling {
             sweep = sweep.with_sampling(scfg);
         }

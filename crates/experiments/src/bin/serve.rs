@@ -27,6 +27,7 @@
 //! prove the lease/retry machinery on a live daemon.
 
 use phast_experiments::exit_code;
+use phast_experiments::pool;
 use phast_experiments::serve::{ChaosPlan, Client, Event, Request, ServeConfig, Server};
 use phast_experiments::Journal;
 use std::path::PathBuf;
@@ -64,7 +65,7 @@ mod sigterm {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: phast-serve [--addr=HOST:PORT] [--workers=N] [--max-active=N] \
+        "usage: phast-serve [--addr=HOST:PORT] [--workers=N] [--lanes=N] [--max-active=N] \
          [--json-dir=DIR | --no-json] [--resume] [--run-timeout=SECS] \
          [--heartbeat-ms=N] [--lease-secs=N] \
          [--chaos-seed=N] [--chaos-kill=K] [--chaos-stall=K]"
@@ -86,6 +87,10 @@ fn help() {
          daemon mode (default):\n\
          \x20 --addr=HOST:PORT    bind address (default 127.0.0.1:7878; port 0 = OS pick)\n\
          \x20 --workers=N         persistent worker threads (default: all cores)\n\
+         \x20 --lanes=N           cells a worker drains from its deque into one\n\
+         \x20                     interleaved lane batch; --lanes=1 (the default,\n\
+         \x20                     also PHAST_LANES) runs every cell solo; results\n\
+         \x20                     are byte-identical at any lane count\n\
          \x20 --max-active=N      sweeps in flight before submissions are rejected\n\
          \x20                     with retry_after_ms backpressure (default 2)\n\
          \x20 --json-dir=DIR      where BENCH_<id>.json artifacts and the write-ahead\n\
@@ -164,6 +169,7 @@ fn main() {
     for a in &args {
         let known = a.starts_with("--addr=")
             || a.starts_with("--workers=")
+            || a.starts_with("--lanes=")
             || a.starts_with("--max-active=")
             || a.starts_with("--json-dir=")
             || a == "--no-json"
@@ -201,6 +207,12 @@ fn run_daemon(addr: String, args: &[String]) -> ! {
     let mut cfg = ServeConfig { addr, ..ServeConfig::default() };
     if let Some(v) = flag_value(args, "--workers") {
         cfg.sched.workers = parse_u64("--workers", v).max(1) as usize;
+    }
+    if let Some(v) = flag_value(args, "--lanes") {
+        cfg.sched.lanes = pool::parse_lanes(v).unwrap_or_else(|e| {
+            eprintln!("error: --lanes: {e}");
+            std::process::exit(exit_code::USAGE);
+        });
     }
     if let Some(v) = flag_value(args, "--max-active") {
         cfg.max_active_sweeps = parse_u64("--max-active", v).max(1) as usize;

@@ -1,0 +1,95 @@
+//! Determinism contract of lane-batched sweeps: the same grid must
+//! produce a bit-identical merged `BENCH` artifact at `--lanes=1`, at
+//! `--lanes=8`, and under every other (worker, lane) packing — modulo
+//! the established wall-clock/attempt metadata carve-out — and degraded
+//! cells must land in the registry in the same deterministic matrix
+//! order whatever the packing. Per-cell determinism is what guarantees
+//! this: a cell's program, predictor, and seeds depend only on the cell,
+//! never on which wave or chunk happened to execute it.
+
+use phast_experiments::harness::{Budget, Sweep};
+use phast_experiments::PredictorKind;
+use phast_ooo::CoreConfig;
+use std::time::Duration;
+
+/// Quick-budget shape trimmed to keep the debug-mode (checked) run fast.
+fn budget() -> Budget {
+    Budget { insts: 10_000, workload_iters: 60_000, max_workloads: Some(4) }
+}
+
+/// Strips the per-execution metadata the resilience docs carve out of
+/// byte-identity: wall-clock, throughput, attempts, and the digest
+/// (which covers them).
+fn normalize(body: &str) -> String {
+    body.lines()
+        .filter(|l| {
+            ![
+                "\"wall_s\"",
+                "\"mips\"",
+                "\"simulated_mips\"",
+                "\"attempts\"",
+                "\"digest\"",
+                "\"git\"",
+                "\"workers\"",
+            ]
+            .iter()
+            .any(|k| l.trim_start().starts_with(k))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn artifacts_are_identical_at_any_lane_count_and_packing() {
+    let kinds =
+        [PredictorKind::Blind, PredictorKind::Phast, PredictorKind::StoreSets];
+    let cfg = CoreConfig::alder_lake();
+    let budget = budget();
+
+    // The solo reference: --lanes=1 takes the original per-cell path.
+    let serial = Sweep::serial();
+    serial.run_grid(&kinds, &cfg, &budget);
+    let reference = serial.artifact("lanes", &budget, Duration::ZERO).to_json();
+    assert!(serial.take_degraded().is_empty(), "reference grid must run clean");
+
+    // Every packing reshapes chunks and waves; none may be observable.
+    for (workers, lanes) in [(1, 8), (2, 3), (4, 2)] {
+        let sweep = Sweep::with_workers(workers).with_lanes(lanes);
+        sweep.run_grid(&kinds, &cfg, &budget);
+        let body = sweep.artifact("lanes", &budget, Duration::ZERO).to_json();
+        assert_eq!(
+            normalize(&reference),
+            normalize(&body),
+            "artifact diverges from the solo reference at workers={workers} lanes={lanes}"
+        );
+        assert!(sweep.take_degraded().is_empty(), "workers={workers} lanes={lanes} ran clean");
+    }
+}
+
+#[test]
+fn degraded_cells_keep_matrix_order_under_lane_batching() {
+    // Poison the core so every cell degrades (tiny deadlock threshold);
+    // the registry must still come back in matrix order — kind-major,
+    // workload-minor — whatever the lane packing, and each cell's failure
+    // must be its own (lane isolation: a degraded lane never takes its
+    // wave-mates down).
+    let budget = Budget { insts: 5_000, workload_iters: 30_000, max_workloads: Some(3) };
+    let mut poisoned = CoreConfig::alder_lake();
+    poisoned.deadlock_cycles = 2;
+    let kinds = [PredictorKind::Blind, PredictorKind::TotalOrder];
+
+    let serial = Sweep::serial();
+    serial.run_grid(&kinds, &poisoned, &budget);
+    let expected = serial.take_degraded();
+    assert_eq!(expected.len(), 2 * 3, "every cell degrades under the poisoned config");
+
+    for (workers, lanes) in [(1, 8), (2, 3)] {
+        let laned = Sweep::with_workers(workers).with_lanes(lanes);
+        laned.run_grid(&kinds, &poisoned, &budget);
+        assert_eq!(
+            laned.take_degraded(),
+            expected,
+            "degraded registry diverges at workers={workers} lanes={lanes}"
+        );
+    }
+}

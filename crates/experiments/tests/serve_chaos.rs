@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 fn fast_sched(workers: usize, chaos: ChaosPlan) -> SchedConfig {
     SchedConfig {
         workers,
+        lanes: 1,
         lease: LeaseConfig {
             heartbeat: Duration::from_millis(250),
             max_age: Duration::from_secs(120),
@@ -238,6 +239,7 @@ fn reclaimed_job_journals_both_attempts_with_distinct_reseeds() {
     let chaos = ChaosPlan { stall_at: Some((1, 1)), ..ChaosPlan::none() };
     let sched = Scheduler::start(SchedConfig {
         workers: 2,
+        lanes: 1,
         lease: LeaseConfig {
             heartbeat: Duration::from_millis(300),
             max_age: Duration::from_secs(120),

@@ -63,19 +63,56 @@ impl SparseMemory {
         self.lines.entry(addr / 64).or_insert([0; 64])[(addr % 64) as usize] = value;
     }
 
-    /// Reads `size` bytes at `addr`, little-endian, zero-extended.
-    pub fn read(&self, addr: u64, size: MemSize) -> u64 {
-        let mut v = 0u64;
-        for i in (0..size.bytes()).rev() {
-            v = (v << 8) | u64::from(self.read_byte(addr.wrapping_add(i)));
+    /// Reads `n ≤ 8` bytes at `addr`, little-endian, zero-extended.
+    ///
+    /// When the access stays inside one 64-byte line (the overwhelmingly
+    /// common case), the line is hashed once instead of once per byte —
+    /// this sits on the simulator's load path, where per-byte probing
+    /// showed up in profiles.
+    #[inline]
+    pub fn read_bytes(&self, addr: u64, n: u64) -> u64 {
+        debug_assert!(n <= 8, "memory accesses are at most 8 bytes");
+        let off = (addr % 64) as usize;
+        if off + n as usize <= 64 {
+            match self.lines.get(&(addr / 64)) {
+                Some(line) => {
+                    let mut v = 0u64;
+                    for i in (0..n as usize).rev() {
+                        v = (v << 8) | u64::from(line[off + i]);
+                    }
+                    v
+                }
+                None => 0,
+            }
+        } else {
+            // Line-crossing access: per-byte fallback.
+            let mut v = 0u64;
+            for i in (0..n).rev() {
+                v = (v << 8) | u64::from(self.read_byte(addr.wrapping_add(i)));
+            }
+            v
         }
-        v
     }
 
-    /// Writes the low `size` bytes of `value` at `addr`, little-endian.
+    /// Reads `size` bytes at `addr`, little-endian, zero-extended.
+    pub fn read(&self, addr: u64, size: MemSize) -> u64 {
+        self.read_bytes(addr, size.bytes())
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`, little-endian,
+    /// hashing the line once when the access does not cross a boundary.
     pub fn write(&mut self, addr: u64, size: MemSize, value: u64) {
-        for i in 0..size.bytes() {
-            self.write_byte(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        let n = size.bytes();
+        let off = (addr % 64) as usize;
+        if off + n as usize <= 64 {
+            let line = self.lines.entry(addr / 64).or_insert([0; 64]);
+            for i in 0..n as usize {
+                line[off + i] = (value >> (8 * i)) as u8;
+            }
+        } else {
+            for i in 0..n {
+                self.write_byte(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            }
         }
     }
 

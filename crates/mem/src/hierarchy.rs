@@ -242,6 +242,23 @@ impl Hierarchy {
         self.l1d.note_prefetch_fill();
     }
 
+    /// Restores the hierarchy to the state `Hierarchy::new(cfg)` would
+    /// produce — cold caches, untrained prefetcher, zero statistics —
+    /// while keeping every slab allocation (the L3 tag array alone is
+    /// ~12 MB). The lane batch recycles hierarchies across waves through
+    /// this; the `reset_equivalence` tests pin that a reset hierarchy is
+    /// observably identical to a fresh one.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        self.l3.reset();
+        self.prefetcher.reset();
+        self.dram_accesses = 0;
+        self.pf_buf.clear();
+        self.warm_data_line = None;
+    }
+
     /// Snapshot of the statistics.
     pub fn stats(&self) -> HierarchyStats {
         HierarchyStats {
@@ -348,6 +365,43 @@ mod tests {
         let d = demand.access(AccessKind::Load, pc, 0x2_0000 + 4 * 64, 1000);
         assert_eq!(w, d, "warm path installs the same prefetch lines");
         assert_eq!(w, 1005);
+    }
+
+    /// End-to-end recycling contract: a hierarchy that simulated a whole
+    /// (different) cell and was reset must behave exactly like a fresh
+    /// one — latencies, prefetch behavior and statistics included.
+    #[test]
+    fn reset_equivalence() {
+        fn drive(m: &mut Hierarchy) -> (Vec<u64>, String) {
+            let mut lats = Vec::new();
+            let mut t = 0;
+            for i in 0..400u64 {
+                let pc = 0x40_0000 + (i % 7) * 4;
+                let addr = ((i * 131) % 4096) * 64 + (i % 3);
+                let kind = match i % 5 {
+                    0 => AccessKind::Store,
+                    1 => AccessKind::Fetch,
+                    _ => AccessKind::Load,
+                };
+                t = m.access(kind, pc, addr, t);
+                lats.push(t);
+                if i % 11 == 0 {
+                    m.warm(AccessKind::Load, 0x40_0100, 0x9000 + i * 64);
+                }
+            }
+            (lats, format!("{:?}", m.stats()))
+        }
+        let mut fresh = h();
+        let mut recycled = h();
+        // Dirty tags at every level, train the prefetcher, touch the warm
+        // filter and the DRAM counter.
+        for i in 0..600u64 {
+            recycled.access(AccessKind::Load, 0x40_0000 + (i % 4) * 4, i * 64, i * 10);
+            recycled.warm(AccessKind::Fetch, 0x41_0000, i * 64);
+            recycled.warm(AccessKind::Load, 0x42_0000, (i % 9) * 64);
+        }
+        recycled.reset();
+        assert_eq!(drive(&mut fresh), drive(&mut recycled));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Proves the *interleaved* steady-state cycle loop is allocation-free.
+//!
+//! The solo guarantee lives in `tests/alloc_free.rs`; this file proves it
+//! survives lane batching: several cores advanced in round-robin slices —
+//! exactly what `LaneBatch::run` does to a wave — must not allocate once
+//! every lane is past its warm-up. A slice boundary that collected a
+//! `Vec`, re-boxed a predictor, or grew a map per switch would fail here
+//! with an exact count instead of only showing up as a slow `--lanes=8`
+//! sweep.
+//!
+//! This file must hold exactly one `#[test]`: the libtest runner executes
+//! tests of one binary concurrently, and a neighbour's allocations would
+//! leak into the measured window.
+
+use phast_mdp::BlindSpeculation;
+use phast_ooo::{CheckConfig, Core, CoreConfig, Deadline, SliceOutcome};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Same warm-up rationale as `alloc_free.rs`: lbm's sparse-memory map
+/// closes after one full pass over its 4096-slot buffer.
+const WARMUP_INSTS: u64 = 120_000;
+const MEASURED_INSTS: u64 = 20_000;
+const MAX_CYCLES: u64 = 10_000_000;
+/// Slice length in cycles — deliberately smaller than `LaneBatch`'s
+/// default so the measured window crosses *many* lane switches.
+const SLICE: u64 = 4_096;
+const LANES: usize = 4;
+
+#[test]
+fn interleaved_steady_state_cycle_loop_does_not_allocate() {
+    let w = phast_workloads::by_name("lbm").expect("workload exists");
+    let program = w.build(100_000);
+    let mut cfg = CoreConfig::alder_lake();
+    cfg.check = CheckConfig::off();
+    let deadline = Deadline::none();
+
+    let mut predictors: Vec<BlindSpeculation> = (0..LANES).map(|_| BlindSpeculation).collect();
+    let mut cores: Vec<Core> = predictors
+        .iter_mut()
+        .map(|p| {
+            let direction =
+                Box::new(phast_branch::Tage::new(phast_branch::TageConfig::default()));
+            Core::new(&program, cfg.clone(), p, direction)
+        })
+        .collect();
+
+    // Warm every lane round-robin, exactly as a wave runs.
+    let mut done = [false; LANES];
+    while !done.iter().all(|d| *d) {
+        for (lane, core) in cores.iter_mut().enumerate() {
+            if done[lane] {
+                continue;
+            }
+            match core
+                .try_run_slice(WARMUP_INSTS, MAX_CYCLES, &deadline, SLICE)
+                .expect("warmup slice runs clean")
+            {
+                SliceOutcome::Done(stats) => {
+                    assert!(stats.committed >= WARMUP_INSTS, "lane {lane} warm budget");
+                    done[lane] = true;
+                }
+                SliceOutcome::Pending => {}
+            }
+        }
+    }
+
+    // Measured window: the same interleave, one bigger budget. The
+    // bookkeeping lives on the stack so it cannot perturb the count.
+    let mut done = [false; LANES];
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    while !done.iter().all(|d| *d) {
+        for (lane, core) in cores.iter_mut().enumerate() {
+            if done[lane] {
+                continue;
+            }
+            match core
+                .try_run_slice(WARMUP_INSTS + MEASURED_INSTS, MAX_CYCLES, &deadline, SLICE)
+                .expect("measured slice runs clean")
+            {
+                SliceOutcome::Done(stats) => {
+                    assert!(
+                        stats.committed >= WARMUP_INSTS + MEASURED_INSTS,
+                        "lane {lane} measured budget (committed {})",
+                        stats.committed
+                    );
+                    done[lane] = true;
+                }
+                SliceOutcome::Pending => {}
+            }
+        }
+    }
+    let during = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    assert_eq!(
+        during, 0,
+        "interleaved steady-state loop allocated {during} times across {LANES} lanes \
+         × {MEASURED_INSTS} instructions"
+    );
+}
